@@ -1,0 +1,319 @@
+package offloadnn
+
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation. Each benchmark regenerates the artifact through its
+// experiment driver (the same code `dotbench` runs), so `go test -bench=.`
+// doubles as a reproduction smoke test. Substrate micro-benchmarks at the
+// bottom characterize the pieces the figures are built from.
+
+import (
+	"testing"
+	"time"
+
+	"offloadnn/internal/core"
+	"offloadnn/internal/dnn"
+	"offloadnn/internal/experiments"
+	"offloadnn/internal/profile"
+	"offloadnn/internal/semoran"
+	"offloadnn/internal/tensor"
+	"offloadnn/internal/workload"
+)
+
+// benchExperiment runs one experiment driver per iteration.
+func benchExperiment(b *testing.B, id string, opt experiments.Options) {
+	b.Helper()
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tables, err := e.Run(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) == 0 {
+			b.Fatal("no tables")
+		}
+	}
+}
+
+// BenchmarkTable1Configs regenerates Table I (DNN block configurations).
+func BenchmarkTable1Configs(b *testing.B) {
+	benchExperiment(b, "table1", experiments.Options{})
+}
+
+// BenchmarkTable2Dataset regenerates Table II (base dataset description).
+func BenchmarkTable2Dataset(b *testing.B) {
+	benchExperiment(b, "table2", experiments.Options{})
+}
+
+// BenchmarkFig2TrainingConfigs regenerates Fig. 2: calibrated accuracy
+// curves and the peak-training-memory comparison across CONFIG A–E.
+func BenchmarkFig2TrainingConfigs(b *testing.B) {
+	benchExperiment(b, "fig2", experiments.Options{})
+}
+
+// BenchmarkFig2RealTraining runs the real scaled-down fine-tuning
+// comparison behind Fig. 2 (quick profile).
+func BenchmarkFig2RealTraining(b *testing.B) {
+	benchExperiment(b, "fig2-real", experiments.Options{Quick: true})
+}
+
+// BenchmarkFig3InferenceCompute regenerates Fig. 3: dummy-tensor inference
+// timing and class accuracy for the pruned and unpruned configurations.
+func BenchmarkFig3InferenceCompute(b *testing.B) {
+	benchExperiment(b, "fig3", experiments.Options{})
+}
+
+// BenchmarkFig6SolverRuntime regenerates Fig. 6: optimum-vs-OffloaDNN
+// runtime over the small scenario (quick caps the optimum at T=3; the
+// -quick=false variant is exercised by dotbench).
+func BenchmarkFig6SolverRuntime(b *testing.B) {
+	benchExperiment(b, "fig6", experiments.Options{Quick: true})
+}
+
+// BenchmarkFig7CostMemory regenerates Fig. 7: normalized DOT cost and
+// memory against the optimum.
+func BenchmarkFig7CostMemory(b *testing.B) {
+	benchExperiment(b, "fig7", experiments.Options{Quick: true})
+}
+
+// BenchmarkFig8Breakdown regenerates the four Fig. 8 panels.
+func BenchmarkFig8Breakdown(b *testing.B) {
+	benchExperiment(b, "fig8", experiments.Options{Quick: true})
+}
+
+// BenchmarkFig9LargeAdmission regenerates Fig. 9: per-task admission
+// ratios for OffloaDNN and SEM-O-RAN over the three loads.
+func BenchmarkFig9LargeAdmission(b *testing.B) {
+	benchExperiment(b, "fig9", experiments.Options{})
+}
+
+// BenchmarkFig10LargeComparison regenerates the four Fig. 10 panels.
+func BenchmarkFig10LargeComparison(b *testing.B) {
+	benchExperiment(b, "fig10", experiments.Options{})
+}
+
+// BenchmarkHeadlineGains regenerates the §V-A aggregate numbers.
+func BenchmarkHeadlineGains(b *testing.B) {
+	benchExperiment(b, "headline", experiments.Options{})
+}
+
+// BenchmarkFig11Emulation regenerates Fig. 11: the 20-second end-to-end
+// latency emulation.
+func BenchmarkFig11Emulation(b *testing.B) {
+	benchExperiment(b, "fig11", experiments.Options{})
+}
+
+// --- solver micro-benchmarks (the quantities Fig. 6 plots) ---
+
+// BenchmarkSolveOffloaDNNSmallT5 times the heuristic on the T=5 small
+// scenario.
+func BenchmarkSolveOffloaDNNSmallT5(b *testing.B) {
+	in, err := workload.SmallScenario(5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SolveOffloaDNN(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolveOptimalSmallT3 times the exhaustive optimum at T=3.
+func BenchmarkSolveOptimalSmallT3(b *testing.B) {
+	in, err := workload.SmallScenario(3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.SolveOptimal(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolveOffloaDNNLarge times the heuristic on the 20-task,
+// 1250-path large scenario (the scalability claim).
+func BenchmarkSolveOffloaDNNLarge(b *testing.B) {
+	in, err := workload.LargeScenario(workload.LoadHigh)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SolveOffloaDNN(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolveSEMORANLarge times the baseline on the same instance.
+func BenchmarkSolveSEMORANLarge(b *testing.B) {
+	in, err := workload.LargeScenario(workload.LoadHigh)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := semoran.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := semoran.Solve(in, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- substrate micro-benchmarks ---
+
+// BenchmarkResNet18Forward times one inference of the scaled ResNet-18 —
+// the c(s) measurement primitive of the profiler.
+func BenchmarkResNet18Forward(b *testing.B) {
+	m := dnn.BuildResNet18(dnn.ResNetConfig{
+		InChannels: 3, NumClasses: 61, BaseWidth: 16,
+		StageBlocks: [4]int{2, 2, 2, 2}, Seed: 1,
+	})
+	x := tensor.New(1, 3, 16, 16)
+	x.Fill(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Forward(x, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkResNet18PrunedForward times the 80%-pruned variant (the Fig. 3
+// left primitive).
+func BenchmarkResNet18PrunedForward(b *testing.B) {
+	m := dnn.BuildResNet18(dnn.ResNetConfig{
+		InChannels: 3, NumClasses: 61, BaseWidth: 16,
+		StageBlocks: [4]int{2, 2, 2, 2},
+		PruneRatios: [4]float64{0.8, 0.8, 0.8, 0.8}, Seed: 1,
+	})
+	x := tensor.New(1, 3, 16, 16)
+	x.Fill(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Forward(x, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProfileModel times a full per-block characterization pass.
+func BenchmarkProfileModel(b *testing.B) {
+	m := dnn.BuildResNet18(dnn.DefaultResNetConfig())
+	p := profile.Profiler{ImageSize: 16, Repeats: 3, Warmup: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.ProfileModel(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTreeBuildLarge times weighted-tree construction over the
+// 20-task × 1250-path large catalog.
+func BenchmarkTreeBuildLarge(b *testing.B) {
+	in, err := workload.LargeScenario(workload.LoadMedium)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.BuildTree(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConv2D times the convolution kernel that dominates inference.
+func BenchmarkConv2D(b *testing.B) {
+	p := tensor.Conv2DParams{InChannels: 16, OutChannels: 32, Kernel: 3, Stride: 1, Padding: 1}
+	x := tensor.New(1, 16, 16, 16)
+	w := tensor.New(32, 16, 3, 3)
+	x.Fill(0.5)
+	w.Fill(0.1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tensor.Conv2D(x, w, nil, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEmulation20s times one Fig. 11-style 20-second emulated run.
+func BenchmarkEmulation20s(b *testing.B) {
+	in, err := SmallScenario(5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res := in.Res
+	res.RBs = 100
+	controller := NewController(res)
+	dep, err := controller.Admit(in.Tasks, in.Blocks, in.Alpha)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultEmulatorConfig()
+	cfg.Duration = 20 * time.Second
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		em, err := NewEmulator(in, dep, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := em.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation runs the design-choice knockout study.
+func BenchmarkAblation(b *testing.B) {
+	benchExperiment(b, "ablation", experiments.Options{})
+}
+
+// BenchmarkExtHeterogeneous runs the two-family catalog extension.
+func BenchmarkExtHeterogeneous(b *testing.B) {
+	benchExperiment(b, "ext-hetero", experiments.Options{})
+}
+
+// BenchmarkExtDynamic runs the incremental-admission extension.
+func BenchmarkExtDynamic(b *testing.B) {
+	benchExperiment(b, "ext-dynamic", experiments.Options{})
+}
+
+// BenchmarkSolveHeterogeneousLarge times the heuristic over the 2500-path
+// two-family catalog.
+func BenchmarkSolveHeterogeneousLarge(b *testing.B) {
+	in, err := workload.HeterogeneousScenario(workload.LoadMedium)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SolveOffloaDNN(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolveOptimalParallelT4 times the parallel exhaustive solver at
+// T=4 against BenchmarkSolveOptimalSmallT3's sequential baseline scale.
+func BenchmarkSolveOptimalParallelT4(b *testing.B) {
+	in, err := workload.SmallScenario(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.SolveOptimalParallel(in, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

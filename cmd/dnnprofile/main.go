@@ -1,0 +1,80 @@
+// Command dnnprofile experimentally characterizes DNN layer-blocks the
+// way the DOT problem consumes them: it builds a (scaled) ResNet-18 or
+// MobileNetV2 on the real tensor engine, times each block's forward pass
+// over a dummy input, and prints the c(s)/µ(s) table.
+//
+// Usage:
+//
+//	dnnprofile                     # ResNet-18, width 16, 16x16 input
+//	dnnprofile -arch mobilenetv2
+//	dnnprofile -prune 0.8          # 80% structured pruning on all stages
+//	dnnprofile -width 32 -image 32 -repeats 11
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"offloadnn/internal/dnn"
+	"offloadnn/internal/profile"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	arch := flag.String("arch", "resnet18", "architecture: resnet18 or mobilenetv2")
+	width := flag.Int("width", 16, "base channel width (ResNet-18 full scale: 64)")
+	image := flag.Int("image", 16, "square input size (paper: 224)")
+	classes := flag.Int("classes", 61, "classifier classes")
+	pruneRatio := flag.Float64("prune", 0, "structured prune ratio applied to all stages (0..0.95)")
+	repeats := flag.Int("repeats", 9, "timed repetitions per block (median reported)")
+	flag.Parse()
+
+	var m *dnn.Model
+	switch *arch {
+	case "resnet18":
+		cfg := dnn.ResNetConfig{
+			InChannels: 3, NumClasses: *classes, BaseWidth: *width,
+			StageBlocks: [4]int{2, 2, 2, 2}, Seed: 1,
+		}
+		if *pruneRatio > 0 {
+			cfg.PruneRatios = [4]float64{*pruneRatio, *pruneRatio, *pruneRatio, *pruneRatio}
+		}
+		m = dnn.BuildResNet18(cfg)
+	case "mobilenetv2":
+		m = dnn.BuildMobileNetV2(dnn.MobileNetConfig{
+			InChannels: 3, NumClasses: *classes, BaseWidth: *width,
+			Expansion: 2, StageBlocks: [4]int{1, 2, 2, 1}, Seed: 1,
+		})
+		if *pruneRatio > 0 {
+			fmt.Fprintln(os.Stderr, "dnnprofile: -prune applies to resnet18 only")
+			return 2
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "dnnprofile: unknown arch %q\n", *arch)
+		return 2
+	}
+
+	p := profile.Profiler{ImageSize: *image, Repeats: *repeats, Warmup: 2}
+	costs, err := p.ProfileModel(m)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dnnprofile:", err)
+		return 1
+	}
+
+	fmt.Printf("%s  width=%d  input=%dx%d  params=%d\n", *arch, *width, *image, *image, m.ParamCount())
+	fmt.Printf("%-24s %6s %14s %12s %10s\n", "block", "stage", "compute", "memory", "params")
+	for _, c := range costs {
+		fmt.Printf("%-24s %6d %14v %11.1fKB %10d\n",
+			c.ID, c.Stage, c.ComputeTime.Round(time.Microsecond),
+			float64(c.MemoryBytes)/1024, c.Params)
+	}
+	fmt.Printf("%-24s %6s %14v %11.1fKB %10d\n", "TOTAL", "",
+		profile.TotalCompute(costs).Round(time.Microsecond),
+		float64(profile.TotalMemory(costs))/1024, m.ParamCount())
+	return 0
+}

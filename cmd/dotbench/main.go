@@ -1,0 +1,99 @@
+// Command dotbench regenerates the paper's evaluation artifacts — every
+// table and figure of the OffloaDNN paper — from this repository's
+// implementations.
+//
+// Usage:
+//
+//	dotbench                 # run every experiment
+//	dotbench -run fig6       # run one experiment (comma-separated list ok)
+//	dotbench -list           # list experiment IDs
+//	dotbench -quick          # skip the slowest steps (optimum at T=4..5, long training)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"offloadnn/internal/experiments"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	only := flag.String("run", "", "comma-separated experiment IDs (default: all)")
+	quick := flag.Bool("quick", false, "skip the slowest steps")
+	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Name)
+		}
+		return 0
+	}
+
+	var selected []experiments.Experiment
+	if *only == "" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*only, ",") {
+			e, err := experiments.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 2
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	opt := experiments.Options{Quick: *quick}
+	for _, e := range selected {
+		start := time.Now()
+		tables, err := e.Run(opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			return 1
+		}
+		fmt.Printf("### %s (%s) — %v\n\n", e.Name, e.ID, time.Since(start).Round(time.Millisecond))
+		for i := range tables {
+			if err := tables[i].Render(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: render: %v\n", e.ID, err)
+				return 1
+			}
+			if *csvDir != "" {
+				if err := writeCSV(*csvDir, e.ID, i, &tables[i]); err != nil {
+					fmt.Fprintf(os.Stderr, "%s: csv: %v\n", e.ID, err)
+					return 1
+				}
+			}
+		}
+	}
+	return 0
+}
+
+// writeCSV stores one table as <dir>/<experiment>-<n>-<slug>.csv.
+func writeCSV(dir, id string, n int, t *experiments.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	name := fmt.Sprintf("%s-%02d-%s.csv", id, n, t.SlugTitle())
+	if len(name) > 120 {
+		name = name[:116] + ".csv"
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	if err := t.RenderCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

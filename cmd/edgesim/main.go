@@ -1,0 +1,124 @@
+// Command edgesim runs the Colosseum-substitute end-to-end emulation
+// (Fig. 11): it admits the Table-IV small-scale tasks through the
+// OffloaDNN controller, drives UE traffic over the allocated radio slices
+// and the edge compute queue, and reports per-task end-to-end latency
+// against the targets.
+//
+// Usage:
+//
+//	edgesim                       # 5 tasks, 20 s, 100 RBs (the paper's setup)
+//	edgesim -tasks 3 -duration 10s -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"offloadnn/internal/core"
+	"offloadnn/internal/edge"
+	"offloadnn/internal/metrics"
+	"offloadnn/internal/workload"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	tasks := flag.Int("tasks", 5, "number of small-scenario tasks (1..5)")
+	load := flag.String("load", "", "emulate the 20-task large scenario instead: low|medium|high")
+	duration := flag.Duration("duration", 20*time.Second, "emulated experiment duration")
+	rbs := flag.Int("rbs", 100, "radio resource blocks (paper Colosseum cell: 100)")
+	seed := flag.Int64("seed", 1, "jitter seed")
+	flag.Parse()
+
+	var in *core.Instance
+	var err error
+	if *load != "" {
+		var l workload.Load
+		switch *load {
+		case "low":
+			l = workload.LoadLow
+		case "medium":
+			l = workload.LoadMedium
+		case "high":
+			l = workload.LoadHigh
+		default:
+			fmt.Fprintf(os.Stderr, "edgesim: unknown load %q (want low|medium|high)\n", *load)
+			return 2
+		}
+		in, err = workload.LargeScenario(l)
+	} else {
+		in, err = workload.SmallScenario(*tasks)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "edgesim:", err)
+		return 2
+	}
+	res := in.Res
+	res.RBs = *rbs
+
+	controller := edge.NewController(res)
+	dep, err := controller.Admit(in.Tasks, in.Blocks, in.Alpha)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "edgesim: admit:", err)
+		return 1
+	}
+	fmt.Printf("controller: %d blocks deployed (%.2f GB), %d/%d RBs sliced\n",
+		len(dep.ActiveBlocks), dep.MemoryUsedGB, dep.Slices.Used(), dep.Slices.Total())
+	for _, a := range dep.Solution.Assignments {
+		if a.Admitted() {
+			fmt.Printf("  %-8s admitted z=%.2f rate=%.2f/s slice=%d RBs path=%s/%s\n",
+				a.TaskID, a.Z, dep.AdmittedRates[a.TaskID], a.RBs, a.Path.DNN, a.Path.ID)
+		} else {
+			fmt.Printf("  %-8s rejected\n", a.TaskID)
+		}
+	}
+
+	cfg := edge.DefaultEmulatorConfig()
+	cfg.Duration = *duration
+	cfg.Seed = *seed
+	em, err := edge.NewEmulator(in, dep, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "edgesim:", err)
+		return 1
+	}
+	result, err := em.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "edgesim: run:", err)
+		return 1
+	}
+
+	fmt.Printf("\nemulated %v: %d frames served, %d latency violations\n",
+		*duration, result.FramesServed, result.Violations)
+	fmt.Printf("%-8s %9s %9s %9s %9s %8s %10s\n",
+		"task", "target", "mean", "p95", "max", "samples", "violations")
+	for _, tr := range result.Traces {
+		if len(tr.Samples) == 0 {
+			continue
+		}
+		lats := make([]float64, len(tr.Samples))
+		for i, s := range tr.Samples {
+			lats[i] = s.Latency.Seconds()
+		}
+		summary, err := metrics.Summarize(lats)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "edgesim:", err)
+			return 1
+		}
+		p95, err := metrics.Percentile(lats, 95)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "edgesim:", err)
+			return 1
+		}
+		fmt.Printf("%-8s %8.3fs %8.3fs %8.3fs %8.3fs %8d %10d\n",
+			tr.TaskID, tr.Target.Seconds(), summary.Mean, p95, summary.Max,
+			len(tr.Samples), tr.Violations)
+	}
+	if result.Violations > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,120 @@
+package offloadnn_test
+
+import (
+	"fmt"
+	"time"
+
+	"offloadnn"
+)
+
+// ExampleSolve solves a hand-built single-task instance and prints the
+// admission decision.
+func ExampleSolve() {
+	blocks := map[string]offloadnn.BlockSpec{
+		"backbone": {ID: "backbone", ComputeSeconds: 0.004, MemoryGB: 0.5},
+		"head":     {ID: "head", ComputeSeconds: 0.002, MemoryGB: 0.3, TrainSeconds: 50},
+	}
+	in := &offloadnn.Instance{
+		Blocks: blocks,
+		Res: offloadnn.Resources{
+			RBs: 20, ComputeSeconds: 1, MemoryGB: 4, TrainBudgetSeconds: 500,
+			Capacity: offloadnn.PaperCapacity(),
+		},
+		Alpha: 0.5,
+		Tasks: []offloadnn.Task{{
+			ID: "detect-cars", Priority: 0.9, Rate: 4, MinAccuracy: 0.7,
+			MaxLatency: 400 * time.Millisecond, InputBits: 350e3, SNRdB: 15,
+			Paths: []offloadnn.PathSpec{{
+				ID: "full", DNN: "resnet18", Blocks: []string{"backbone", "head"}, Accuracy: 0.85,
+			}},
+		}},
+	}
+	sol, err := offloadnn.Solve(in)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	a := sol.Assignments[0]
+	fmt.Printf("%s: z=%.1f r=%d path=%s\n", a.TaskID, a.Z, a.RBs, a.Path.ID)
+	// Output:
+	// detect-cars: z=1.0 r=4 path=full
+}
+
+// ExampleSmallScenario builds the paper's Table-IV small-scale instance.
+func ExampleSmallScenario() {
+	in, err := offloadnn.SmallScenario(5)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("tasks=%d paths/task=%d R=%d C=%.1f M=%.0f\n",
+		len(in.Tasks), len(in.Tasks[0].Paths),
+		in.Res.RBs, in.Res.ComputeSeconds, in.Res.MemoryGB)
+	// Output:
+	// tasks=5 paths/task=15 R=50 C=2.5 M=8
+}
+
+// ExampleSolveSEMORAN contrasts the baseline's binary admission with
+// OffloaDNN on the large medium-load scenario.
+func ExampleSolveSEMORAN() {
+	in, err := offloadnn.LargeScenario(offloadnn.LoadMedium)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	ours, err := offloadnn.Solve(in)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	baseline, err := offloadnn.SolveSEMORAN(in, offloadnn.DefaultSEMORANConfig())
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("OffloaDNN admits %d tasks; SEM-O-RAN admits %d\n",
+		ours.Breakdown.AdmittedTasks, baseline.AdmittedTasks)
+	// Output:
+	// OffloaDNN admits 19 tasks; SEM-O-RAN admits 15
+}
+
+// ExampleBuildTree inspects the weighted tree of the small scenario.
+func ExampleBuildTree() {
+	in, err := offloadnn.SmallScenario(2)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	tree, err := offloadnn.BuildTree(in)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for i, layer := range tree.Layers {
+		fmt.Printf("layer %d: task %s, %d vertices\n",
+			i, in.Tasks[layer.TaskIndex].ID, len(layer.Vertices))
+	}
+	// Output:
+	// layer 0: task task-1, 4 vertices
+	// layer 1: task task-2, 13 vertices
+}
+
+// ExampleCheck demonstrates constraint verification catching a violation.
+func ExampleCheck() {
+	in, err := offloadnn.SmallScenario(1)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	sol, err := offloadnn.Solve(in)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("solver output feasible:", offloadnn.Check(in, sol.Assignments) == nil)
+	sol.Assignments[0].RBs = 0 // starve the slice
+	fmt.Println("starved slice feasible:", offloadnn.Check(in, sol.Assignments) == nil)
+	// Output:
+	// solver output feasible: true
+	// starved slice feasible: false
+}

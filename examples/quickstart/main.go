@@ -1,0 +1,87 @@
+// Quickstart: build a small DOT instance by hand, solve it with the
+// OffloaDNN heuristic, and inspect the decisions.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"offloadnn"
+)
+
+func main() {
+	// Block catalog: a shared pre-trained backbone prefix, plus two
+	// task-specific final stages (full and 80%-pruned) per task. Costs are
+	// the experimentally characterized c(s), µ(s), ct(s).
+	blocks := map[string]offloadnn.BlockSpec{
+		"base/s1": {ID: "base/s1", ComputeSeconds: 0.0012, MemoryGB: 0.10},
+		"base/s2": {ID: "base/s2", ComputeSeconds: 0.0017, MemoryGB: 0.16},
+		"base/s3": {ID: "base/s3", ComputeSeconds: 0.0024, MemoryGB: 0.28},
+	}
+	tasks := []offloadnn.Task{
+		newTask(blocks, "plate-reader", 0.9, 4, 0.85, 250*time.Millisecond),
+		newTask(blocks, "pedestrians", 0.8, 6, 0.75, 300*time.Millisecond),
+		newTask(blocks, "litter-watch", 0.4, 2, 0.60, 600*time.Millisecond),
+	}
+	in := &offloadnn.Instance{
+		Tasks:  tasks,
+		Blocks: blocks,
+		Res: offloadnn.Resources{
+			RBs:                50,
+			ComputeSeconds:     2.5,
+			MemoryGB:           8,
+			TrainBudgetSeconds: 1000,
+			Capacity:           offloadnn.PaperCapacity(), // 0.35 Mb/s per RB
+		},
+		Alpha: 0.5,
+	}
+
+	sol, err := offloadnn.Solve(in)
+	if err != nil {
+		log.Fatalf("solve: %v", err)
+	}
+	if err := offloadnn.Check(in, sol.Assignments); err != nil {
+		log.Fatalf("solution failed verification: %v", err)
+	}
+
+	fmt.Printf("DOT cost %.4f — solved in %v\n", sol.Cost, sol.Runtime.Round(time.Microsecond))
+	fmt.Printf("memory %.2f/%.0f GB | compute %.3f/%.1f s/s | RBs %.0f/%d\n\n",
+		sol.Breakdown.MemoryGB, in.Res.MemoryGB,
+		sol.Breakdown.ComputeUsage, in.Res.ComputeSeconds,
+		sol.Breakdown.RBsAllocated, in.Res.RBs)
+	for _, a := range sol.Assignments {
+		if !a.Admitted() {
+			fmt.Printf("%-14s rejected\n", a.TaskID)
+			continue
+		}
+		fmt.Printf("%-14s admitted z=%.2f  slice=%d RBs  path=%s (accuracy %.2f)\n",
+			a.TaskID, a.Z, a.RBs, a.Path.ID, a.Path.Accuracy)
+	}
+}
+
+// newTask assembles a task with a full and a pruned candidate path,
+// registering the task-specific blocks in the shared catalog.
+func newTask(blocks map[string]offloadnn.BlockSpec, id string, priority, rate, minAcc float64,
+	latency time.Duration) offloadnn.Task {
+	full := "ft/" + id + "/s4"
+	pruned := full + "/p80"
+	blocks[full] = offloadnn.BlockSpec{ID: full, ComputeSeconds: 0.0032, MemoryGB: 0.52, TrainSeconds: 120}
+	blocks[pruned] = offloadnn.BlockSpec{ID: pruned, ComputeSeconds: 0.0008, MemoryGB: 0.10, TrainSeconds: 120}
+	prefix := []string{"base/s1", "base/s2", "base/s3"}
+	return offloadnn.Task{
+		ID:          id,
+		Priority:    priority,
+		Rate:        rate,
+		MinAccuracy: minAcc,
+		MaxLatency:  latency,
+		InputBits:   350e3,
+		SNRdB:       20,
+		Paths: []offloadnn.PathSpec{
+			{ID: "full", DNN: "resnet18", Blocks: append(append([]string{}, prefix...), full), Accuracy: 0.92},
+			{ID: "pruned-80", DNN: "resnet18-p80", Blocks: append(append([]string{}, prefix...), pruned), Accuracy: 0.86},
+		},
+	}
+}

@@ -1,0 +1,138 @@
+// Smart factory: mixes accuracy-critical quality-assurance inspection
+// with latency-critical safety monitoring on one edge server, and shows
+// how OffloaDNN shapes the DNNs differently per task: the QA task is
+// forced onto the full-accuracy (expensive) path, the safety task onto a
+// heavily pruned (fast) one, while both share the pre-trained backbone.
+// The example also contrasts the OffloaDNN decision with the SEM-O-RAN
+// baseline, which deploys full unshared DNNs and admits binarily.
+//
+//	go run ./examples/smartfactory
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"offloadnn"
+)
+
+func main() {
+	catalog := map[string]offloadnn.BlockSpec{}
+	tasks := []offloadnn.Task{
+		// Defect inspection: misclassifying a defective part is costly —
+		// the accuracy bar is high, latency relaxed.
+		factoryTask(catalog, "qa-inspect", taskParams{
+			priority: 0.95, rate: 3, minAcc: 0.90, latency: 800 * time.Millisecond,
+		}),
+		// Worker-safety monitoring: latency-critical, accuracy modest.
+		factoryTask(catalog, "safety-zone", taskParams{
+			priority: 1.0, rate: 10, minAcc: 0.65, latency: 150 * time.Millisecond,
+		}),
+		// Inventory tracking: best-effort.
+		factoryTask(catalog, "pallet-count", taskParams{
+			priority: 0.3, rate: 1, minAcc: 0.60, latency: 1000 * time.Millisecond,
+		}),
+	}
+
+	in := &offloadnn.Instance{
+		Tasks:  tasks,
+		Blocks: catalog,
+		Res: offloadnn.Resources{
+			RBs:                80,
+			ComputeSeconds:     3,
+			MemoryGB:           6,
+			TrainBudgetSeconds: 1000,
+			Capacity:           offloadnn.PaperCapacity(),
+		},
+		Alpha: 0.5,
+	}
+
+	sol, err := offloadnn.Solve(in)
+	if err != nil {
+		log.Fatalf("solve: %v", err)
+	}
+	if err := offloadnn.Check(in, sol.Assignments); err != nil {
+		log.Fatalf("verification: %v", err)
+	}
+
+	fmt.Println("== OffloaDNN (DNN shaping + sharing + fractional admission) ==")
+	for i, a := range sol.Assignments {
+		task := in.Tasks[i]
+		if !a.Admitted() {
+			fmt.Printf("  %-13s rejected\n", a.TaskID)
+			continue
+		}
+		lat := latencyOf(in, &task, a)
+		fmt.Printf("  %-13s z=%.2f r=%-3d path=%-10s acc=%.2f (floor %.2f)  latency %v (bound %v)\n",
+			a.TaskID, a.Z, a.RBs, a.Path.ID, a.Path.Accuracy, task.MinAccuracy,
+			lat.Round(time.Millisecond), task.MaxLatency)
+	}
+	fmt.Printf("  memory %.2f GB | inference compute %.4f s/s | training %.0f s\n\n",
+		sol.Breakdown.MemoryGB, sol.Breakdown.ComputeUsage, sol.Breakdown.TrainSeconds)
+
+	rep, err := offloadnn.SolveSEMORAN(in, offloadnn.DefaultSEMORANConfig())
+	if err != nil {
+		log.Fatalf("baseline: %v", err)
+	}
+	fmt.Println("== SEM-O-RAN baseline (full unshared DNNs, binary admission) ==")
+	for _, d := range rep.Decisions {
+		if d.Admitted {
+			fmt.Printf("  %-13s admitted r=%d (private %.2f GB)\n", d.TaskID, d.RBs, d.MemoryGB)
+		} else {
+			fmt.Printf("  %-13s rejected\n", d.TaskID)
+		}
+	}
+	fmt.Printf("  memory %.2f GB | inference compute %.4f s/s\n\n", rep.MemoryGB, rep.ComputeUsage)
+
+	fmt.Printf("sharing + shaping saves %.0f%% memory and %.0f%% inference compute here\n",
+		(1-sol.Breakdown.MemoryGB/rep.MemoryGB)*100,
+		(1-sol.Breakdown.ComputeUsage/rep.ComputeUsage)*100)
+}
+
+func latencyOf(in *offloadnn.Instance, task *offloadnn.Task, a offloadnn.Assignment) time.Duration {
+	lat, err := in.EndToEndLatency(task, a)
+	if err != nil {
+		return 0
+	}
+	return lat
+}
+
+type taskParams struct {
+	priority float64
+	rate     float64
+	minAcc   float64
+	latency  time.Duration
+}
+
+func factoryTask(catalog map[string]offloadnn.BlockSpec, id string, p taskParams) offloadnn.Task {
+	stageCompute := []float64{0.0012, 0.0017, 0.0024}
+	stageMemory := []float64{0.10, 0.16, 0.28}
+	prefix := make([]string, 3)
+	for s := 0; s < 3; s++ {
+		bid := fmt.Sprintf("factorynet/s%d", s+1)
+		if _, ok := catalog[bid]; !ok {
+			catalog[bid] = offloadnn.BlockSpec{ID: bid, ComputeSeconds: stageCompute[s], MemoryGB: stageMemory[s]}
+		}
+		prefix[s] = bid
+	}
+	full := "ft/" + id + "/s4"
+	pruned := full + "/p80"
+	catalog[full] = offloadnn.BlockSpec{ID: full, ComputeSeconds: 0.0032, MemoryGB: 0.52, TrainSeconds: 120}
+	catalog[pruned] = offloadnn.BlockSpec{ID: pruned, ComputeSeconds: 0.0008, MemoryGB: 0.10, TrainSeconds: 120}
+	return offloadnn.Task{
+		ID:          id,
+		Priority:    p.priority,
+		Rate:        p.rate,
+		MinAccuracy: p.minAcc,
+		MaxLatency:  p.latency,
+		InputBits:   350e3,
+		SNRdB:       22,
+		Paths: []offloadnn.PathSpec{
+			{ID: "full", DNN: "factorynet",
+				Blocks: append(append([]string{}, prefix...), full), Accuracy: 0.93},
+			{ID: "pruned-80", DNN: "factorynet-p80",
+				Blocks: append(append([]string{}, prefix...), pruned), Accuracy: 0.84},
+		},
+	}
+}

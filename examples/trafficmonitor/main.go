@@ -1,0 +1,128 @@
+// Traffic monitor: a smart-intersection deployment that admits CV tasks
+// *incrementally* (the dynamic scenario of Sec. III-B): an initial
+// admission round deploys DNN blocks; when new tasks arrive later, the
+// already-deployed blocks are free (zero memory and training cost) and
+// the remaining capacities are discounted, so the controller only pays
+// for the increment.
+//
+//	go run ./examples/trafficmonitor
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"offloadnn"
+)
+
+func main() {
+	catalog := map[string]offloadnn.BlockSpec{}
+	res := offloadnn.Resources{
+		RBs:                100,
+		ComputeSeconds:     5,
+		MemoryGB:           12,
+		TrainBudgetSeconds: 1000,
+		Capacity:           offloadnn.PaperCapacity(),
+	}
+
+	// Morning shift: two permanent monitoring tasks.
+	morning := []offloadnn.Task{
+		trafficTask(catalog, "count-vehicles", 0.9, 5, 0.75, 300*time.Millisecond),
+		trafficTask(catalog, "detect-jams", 0.8, 2.5, 0.70, 500*time.Millisecond),
+	}
+	in1 := &offloadnn.Instance{Tasks: morning, Blocks: catalog, Res: res, Alpha: 0.5}
+	sol1, err := offloadnn.Solve(in1)
+	if err != nil {
+		log.Fatalf("morning round: %v", err)
+	}
+	report("morning round", in1, sol1)
+
+	// Rush hour: two urgent tasks arrive. Deployed blocks become free, and
+	// the capacities already consumed by the morning tasks are discounted.
+	deployed := map[string]bool{}
+	for _, id := range sol1.Breakdown.ActiveBlocks {
+		deployed[id] = true
+	}
+	discounted := res
+	discounted.MemoryGB -= sol1.Breakdown.MemoryGB
+	discounted.ComputeSeconds -= sol1.Breakdown.ComputeUsage
+	discounted.RBs -= int(sol1.Breakdown.RBsAllocated + 0.5)
+
+	rush := []offloadnn.Task{
+		trafficTask(catalog, "emergency-lane", 1.0, 7.5, 0.80, 250*time.Millisecond),
+		trafficTask(catalog, "red-light-cam", 0.6, 5, 0.65, 400*time.Millisecond),
+	}
+	in2 := &offloadnn.Instance{
+		Tasks:       rush,
+		Blocks:      catalog,
+		Res:         discounted,
+		Alpha:       0.5,
+		Predeployed: deployed,
+	}
+	sol2, err := offloadnn.Solve(in2)
+	if err != nil {
+		log.Fatalf("rush-hour round: %v", err)
+	}
+	report("rush-hour round (incremental)", in2, sol2)
+
+	// The incremental round reuses the morning deployment: any base block
+	// already active costs nothing now.
+	freeReuses := 0
+	for _, id := range sol2.Breakdown.ActiveBlocks {
+		if deployed[id] {
+			freeReuses++
+		}
+	}
+	fmt.Printf("blocks reused at zero cost from the morning deployment: %d\n", freeReuses)
+}
+
+func report(name string, in *offloadnn.Instance, sol *offloadnn.Solution) {
+	if err := offloadnn.Check(in, sol.Assignments); err != nil {
+		log.Fatalf("%s: verification: %v", name, err)
+	}
+	fmt.Printf("== %s ==\n", name)
+	fmt.Printf("cost %.4f | +memory %.2f GB | +compute %.3f s/s | +RBs %.0f | +training %.0f s\n",
+		sol.Cost, sol.Breakdown.MemoryGB, sol.Breakdown.ComputeUsage,
+		sol.Breakdown.RBsAllocated, sol.Breakdown.TrainSeconds)
+	for _, a := range sol.Assignments {
+		if a.Admitted() {
+			fmt.Printf("  %-16s z=%.2f r=%d path=%s\n", a.TaskID, a.Z, a.RBs, a.Path.ID)
+		} else {
+			fmt.Printf("  %-16s rejected\n", a.TaskID)
+		}
+	}
+	fmt.Println()
+}
+
+func trafficTask(catalog map[string]offloadnn.BlockSpec, id string, priority, rate, minAcc float64,
+	latency time.Duration) offloadnn.Task {
+	// Shared backbone stages (pre-trained on road scenes).
+	stageCompute := []float64{0.0012, 0.0017, 0.0024}
+	stageMemory := []float64{0.10, 0.16, 0.28}
+	prefix := make([]string, 3)
+	for s := 0; s < 3; s++ {
+		bid := fmt.Sprintf("roadnet/s%d", s+1)
+		if _, ok := catalog[bid]; !ok {
+			catalog[bid] = offloadnn.BlockSpec{ID: bid, ComputeSeconds: stageCompute[s], MemoryGB: stageMemory[s]}
+		}
+		prefix[s] = bid
+	}
+	full := "ft/" + id + "/s4"
+	pruned := full + "/p80"
+	catalog[full] = offloadnn.BlockSpec{ID: full, ComputeSeconds: 0.0032, MemoryGB: 0.52, TrainSeconds: 110}
+	catalog[pruned] = offloadnn.BlockSpec{ID: pruned, ComputeSeconds: 0.0008, MemoryGB: 0.10, TrainSeconds: 110}
+	return offloadnn.Task{
+		ID:          id,
+		Priority:    priority,
+		Rate:        rate,
+		MinAccuracy: minAcc,
+		MaxLatency:  latency,
+		InputBits:   350e3,
+		SNRdB:       18,
+		Paths: []offloadnn.PathSpec{
+			{ID: "full", DNN: "roadnet", Blocks: append(append([]string{}, prefix...), full), Accuracy: 0.91},
+			{ID: "pruned-80", DNN: "roadnet-p80", Blocks: append(append([]string{}, prefix...), pruned), Accuracy: 0.85},
+		},
+	}
+}

@@ -1,0 +1,3 @@
+module offloadnn
+
+go 1.22

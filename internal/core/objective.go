@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// zEps is the threshold below which an admission ratio counts as zero,
+// matching the indicator 1_{z>0} of constraints (1f)–(1i).
+const zEps = 1e-9
+
+// Evaluate computes the DOT objective (1a) and its breakdown for a
+// candidate solution. It does not check feasibility; use Check for that.
+func (in *Instance) Evaluate(assignments []Assignment) (Breakdown, error) {
+	if len(assignments) != len(in.Tasks) {
+		return Breakdown{}, fmt.Errorf("%w: %d assignments for %d tasks", ErrModel, len(assignments), len(in.Tasks))
+	}
+	var bd Breakdown
+	active := make(map[string]bool)
+	for i, a := range assignments {
+		task := &in.Tasks[i]
+		if a.TaskID != task.ID {
+			return Breakdown{}, fmt.Errorf("%w: assignment %d is for %q, want %q", ErrModel, i, a.TaskID, task.ID)
+		}
+		z := a.Z
+		if z < zEps || a.Path == nil {
+			z = 0
+		}
+		bd.AdmissionTerm += in.Alpha * (1 - z) * task.Priority
+		bd.WeightedAdmission += z * task.Priority
+		if z == 0 {
+			continue
+		}
+		bd.AdmittedTasks++
+		if z > 1-1e-6 {
+			bd.FullyAdmittedTasks++
+		}
+		cPath := in.PathCompute(a.Path)
+		bd.ComputeUsage += z * task.Rate * cPath
+		bd.RBsAllocated += z * float64(a.RBs)
+		// Radio term: the fraction of total radio resources allocated to
+		// admitted tasks (Sec. III-B item (ii)) — z·r/R, not scaled by the
+		// request rate (a slice of r RBs is allocated once per task).
+		if in.Res.RBs > 0 {
+			bd.RadioTerm += (1 - in.Alpha) * z * float64(a.RBs) / float64(in.Res.RBs)
+		}
+		if in.Res.ComputeSeconds > 0 {
+			bd.InferTerm += (1 - in.Alpha) * z * task.Rate * cPath / in.Res.ComputeSeconds
+		}
+		for _, bID := range a.Path.Blocks {
+			active[bID] = true
+		}
+	}
+	ids := make([]string, 0, len(active))
+	for id := range active {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	bd.ActiveBlocks = ids
+	for _, id := range ids {
+		bd.MemoryGB += in.BlockMemoryGB(id)
+		bd.TrainSeconds += in.BlockTrainSeconds(id)
+	}
+	bd.TrainTerm = (1 - in.Alpha) * bd.TrainSeconds / in.Res.TrainBudgetSeconds
+	return bd, nil
+}
+
+// Cost returns the scalar objective from a breakdown.
+func (bd Breakdown) CostValue() float64 {
+	return bd.AdmissionTerm + bd.TrainTerm + bd.RadioTerm + bd.InferTerm
+}
+
+// Check verifies every DOT constraint (1b)–(1g) for the assignments and
+// returns a descriptive error for the first violation found.
+func (in *Instance) Check(assignments []Assignment) error {
+	bd, err := in.Evaluate(assignments)
+	if err != nil {
+		return err
+	}
+	const tol = 1e-6
+	if bd.MemoryGB > in.Res.MemoryGB+tol {
+		return fmt.Errorf("%w: memory %v GB exceeds M=%v (1b)", ErrInfeasible, bd.MemoryGB, in.Res.MemoryGB)
+	}
+	if bd.ComputeUsage > in.Res.ComputeSeconds+tol {
+		return fmt.Errorf("%w: compute %v s/s exceeds C=%v (1c)", ErrInfeasible, bd.ComputeUsage, in.Res.ComputeSeconds)
+	}
+	if bd.RBsAllocated > float64(in.Res.RBs)+tol {
+		return fmt.Errorf("%w: RB usage %v exceeds R=%d (1d)", ErrInfeasible, bd.RBsAllocated, in.Res.RBs)
+	}
+	for i, a := range assignments {
+		task := &in.Tasks[i]
+		if a.Z < -tol || a.Z > 1+tol {
+			return fmt.Errorf("%w: task %s admission ratio %v outside [0,1]", ErrInfeasible, task.ID, a.Z)
+		}
+		if a.Z < zEps || a.Path == nil {
+			continue
+		}
+		b := in.Res.Capacity.BitsPerRBPerSecond(task.SNRdB)
+		bits := a.Bits(task)
+		if a.Z*task.Rate*bits > b*float64(a.RBs)+tol {
+			return fmt.Errorf("%w: task %s rate %v×%v bits exceeds slice capacity %v×%d (1e)",
+				ErrInfeasible, task.ID, a.Z*task.Rate, bits, b, a.RBs)
+		}
+		if a.Accuracy() < task.MinAccuracy-tol {
+			return fmt.Errorf("%w: task %s accuracy %v below A=%v (1f)",
+				ErrInfeasible, task.ID, a.Accuracy(), task.MinAccuracy)
+		}
+		lat, err := in.EndToEndLatency(task, a)
+		if err != nil {
+			return fmt.Errorf("%w: task %s latency: %v", ErrInfeasible, task.ID, err)
+		}
+		if lat > task.MaxLatency+time.Millisecond/10 {
+			return fmt.Errorf("%w: task %s latency %v exceeds L=%v (1g)",
+				ErrInfeasible, task.ID, lat, task.MaxLatency)
+		}
+	}
+	return nil
+}
+
+// EndToEndLatency computes l_τ = β(q)/(B(σ)·r) + Σ c(s) for a task under
+// an assignment's path, quality level and RB slice.
+func (in *Instance) EndToEndLatency(task *Task, a Assignment) (time.Duration, error) {
+	if a.Path == nil {
+		return 0, fmt.Errorf("%w: task %s has no path", ErrInfeasible, task.ID)
+	}
+	if a.RBs <= 0 {
+		return 0, fmt.Errorf("%w: task %s has no RBs", ErrInfeasible, task.ID)
+	}
+	b := in.Res.Capacity.BitsPerRBPerSecond(task.SNRdB)
+	if b <= 0 {
+		return 0, fmt.Errorf("%w: task %s has zero link capacity", ErrInfeasible, task.ID)
+	}
+	network := a.Bits(task) / (b * float64(a.RBs))
+	processing := in.PathCompute(a.Path)
+	return time.Duration((network + processing) * float64(time.Second)), nil
+}
+
+// newSolution packages assignments into a Solution with cost and runtime.
+func (in *Instance) newSolution(assignments []Assignment, runtime time.Duration) (*Solution, error) {
+	bd, err := in.Evaluate(assignments)
+	if err != nil {
+		return nil, err
+	}
+	return &Solution{
+		Assignments: assignments,
+		Cost:        bd.CostValue(),
+		Breakdown:   bd,
+		Runtime:     runtime,
+	}, nil
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// SolveOffloaDNN runs the polynomial-time OffloaDNN heuristic (Sec. IV):
+// build the weighted tree (cliques sorted by ascending inference compute
+// time), take the first branch — at every layer, the left-most vertex
+// whose blocks fit the remaining memory budget, falling back to rejection
+// when none does — and solve the per-branch convex allocation in (z, r).
+func SolveOffloaDNN(in *Instance) (*Solution, error) {
+	return SolveOffloaDNNConfigured(in, HeuristicConfig{})
+}
+
+// OptimalStats reports the work done by the exhaustive solver.
+type OptimalStats struct {
+	// BranchesExplored counts complete branches whose allocation problem
+	// was solved.
+	BranchesExplored int
+	// BranchesPruned counts subtrees cut by the memory bound.
+	BranchesPruned int
+}
+
+// SolveOptimal exhaustively traverses every branch of the weighted tree
+// (depth-first, pruning subtrees that exceed the memory budget), solves
+// the per-branch allocation for each leaf, and returns the least-cost
+// solution. Complexity is exponential in the number of tasks — it is the
+// benchmark OffloaDNN is compared against in the small-scale scenario.
+func SolveOptimal(in *Instance) (*Solution, *OptimalStats, error) {
+	start := time.Now()
+	tree, err := BuildTree(in)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats := &OptimalStats{}
+	state := newBranchState(in)
+	chosen := make([]Vertex, len(tree.Layers))
+	var best *Solution
+	bestCost := math.Inf(1)
+
+	var dfs func(layer int) error
+	dfs = func(layer int) error {
+		if layer == len(tree.Layers) {
+			stats.BranchesExplored++
+			assignments, err := tree.assignmentsFor(chosen)
+			if err != nil {
+				return err
+			}
+			if err := in.OptimizeAllocation(assignments); err != nil {
+				return err
+			}
+			bd, err := in.Evaluate(assignments)
+			if err != nil {
+				return err
+			}
+			if c := bd.CostValue(); c < bestCost {
+				bestCost = c
+				best = &Solution{Assignments: assignments, Cost: c, Breakdown: bd}
+			}
+			return nil
+		}
+		for _, v := range tree.Layers[layer].Vertices {
+			mem := state.push(v)
+			if mem > in.Res.MemoryGB+1e-12 {
+				stats.BranchesPruned++
+				state.pop()
+				continue
+			}
+			chosen[layer] = v
+			if err := dfs(layer + 1); err != nil {
+				return err
+			}
+			state.pop()
+		}
+		return nil
+	}
+	if err := dfs(0); err != nil {
+		return nil, nil, err
+	}
+	if best == nil {
+		return nil, nil, fmt.Errorf("%w: no feasible branch", ErrInfeasible)
+	}
+	best.Runtime = time.Since(start)
+	return best, stats, nil
+}

@@ -1,0 +1,299 @@
+// Package core implements the paper's contribution: the DOT (DNNs for
+// scalable Offloading of Tasks) problem model, the weighted-tree search
+// space, the per-branch convex allocator in (z, r), the exhaustive optimal
+// solver, and the OffloaDNN first-branch heuristic.
+//
+// The model follows Sec. III of the paper. A task τ carries priority p_τ,
+// request rate λ_τ, accuracy floor A_τ, latency ceiling L_τ, input size
+// β(q_τ) and channel quality σ_τ. Candidate executions are paths π —
+// sequences of layer-blocks s with experimentally characterized inference
+// compute time c(s), memory µ(s) and training cost ct(s). Decision
+// variables are the admission ratios z_τ ∈ [0,1], the path selection
+// (x, y), and the RB allocations r_τ.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"offloadnn/internal/radio"
+)
+
+// ErrModel reports an invalid instance.
+var ErrModel = errors.New("core: invalid DOT instance")
+
+// ErrInfeasible reports that no feasible solution exists (e.g., the memory
+// budget cannot hold any path of an admission-mandatory configuration).
+var ErrInfeasible = errors.New("core: infeasible DOT instance")
+
+// BlockSpec is the experimentally characterized layer-block s^d.
+type BlockSpec struct {
+	// ID uniquely identifies the block; paths referencing the same ID
+	// share one deployment (memory and training charged once).
+	ID string
+	// ComputeSeconds is the per-inference compute time c(s).
+	ComputeSeconds float64
+	// MemoryGB is the deployed footprint µ(s).
+	MemoryGB float64
+	// TrainSeconds is the (fine-)training cost ct(s); zero for
+	// pre-trained base blocks and for blocks already deployed at the edge
+	// (the incremental scenario of Sec. III-B).
+	TrainSeconds float64
+}
+
+// PathSpec is π^d_τ: one way to execute a task on DNN structure d.
+type PathSpec struct {
+	// ID identifies the path within its task's candidate set.
+	ID string
+	// DNN names the dynamic DNN structure d the path belongs to.
+	DNN string
+	// Blocks are the IDs of the blocks [s^d] composing the path, in
+	// execution order.
+	Blocks []string
+	// Accuracy is the attained accuracy a_τ(q_τ, π) for the owning task's
+	// quality level, characterized offline.
+	Accuracy float64
+}
+
+// QualityLevel is one input-quality option q ∈ Q_τ: transmitting the task
+// input at reduced quality shrinks β(q) at an accuracy cost.
+type QualityLevel struct {
+	// ID names the level (e.g., "q1080", "q720").
+	ID string
+	// Bits is β(q), the bits per offloaded image at this quality.
+	Bits float64
+	// AccuracyDelta is subtracted from the path accuracy a_τ(q, π).
+	AccuracyDelta float64
+}
+
+// Task is an inference task τ requested for offloading.
+type Task struct {
+	// ID names the task.
+	ID string
+	// Priority p_τ ∈ [0,1].
+	Priority float64
+	// Rate λ_τ in requests per second.
+	Rate float64
+	// MinAccuracy is A_τ.
+	MinAccuracy float64
+	// MaxLatency is L_τ (end-to-end: network + processing).
+	MaxLatency time.Duration
+	// InputBits is β at full quality, the bits per offloaded image.
+	InputBits float64
+	// SNRdB is σ_τ, the average SNR of the devices issuing the task.
+	SNRdB float64
+	// Qualities are the optional reduced-quality levels Q_τ. The full
+	// quality (InputBits, zero accuracy delta) is always available; an
+	// empty slice means it is the only level, which is the Table-IV
+	// evaluation setting.
+	Qualities []QualityLevel
+	// Paths are the candidate executions Π_τ = ∪_d Π^d_τ.
+	Paths []PathSpec
+}
+
+// QualityOptions returns the task's quality ladder including the implicit
+// full-quality level (first).
+func (t *Task) QualityOptions() []QualityLevel {
+	out := make([]QualityLevel, 0, len(t.Qualities)+1)
+	out = append(out, QualityLevel{ID: "full", Bits: t.InputBits})
+	out = append(out, t.Qualities...)
+	return out
+}
+
+// Resources is the edge/radio capacity pool.
+type Resources struct {
+	// RBs is R, the radio resource blocks available.
+	RBs int
+	// ComputeSeconds is C: edge compute seconds available per second.
+	ComputeSeconds float64
+	// MemoryGB is M.
+	MemoryGB float64
+	// TrainBudgetSeconds is Ct, the normalizer of the training-cost term.
+	TrainBudgetSeconds float64
+	// Capacity maps SNR to per-RB throughput B(σ).
+	Capacity radio.CapacityModel
+}
+
+// Instance is a complete DOT problem.
+type Instance struct {
+	// Tasks requested for admission, in any order (solvers process them
+	// by descending priority).
+	Tasks []Task
+	// Blocks is the catalog of all blocks referenced by any path.
+	Blocks map[string]BlockSpec
+	// Res is the resource pool.
+	Res Resources
+	// Alpha weights admission against resource cost in the objective.
+	Alpha float64
+	// Predeployed marks blocks already active at the edge from earlier
+	// admission rounds: their memory and training costs are zero for
+	// this instance (incremental mode, Sec. III-B remark).
+	Predeployed map[string]bool
+}
+
+// Validate checks structural consistency of the instance.
+func (in *Instance) Validate() error {
+	if len(in.Tasks) == 0 {
+		return fmt.Errorf("%w: no tasks", ErrModel)
+	}
+	if in.Alpha < 0 || in.Alpha > 1 {
+		return fmt.Errorf("%w: alpha %v outside [0,1]", ErrModel, in.Alpha)
+	}
+	if in.Res.Capacity == nil {
+		return fmt.Errorf("%w: nil capacity model", ErrModel)
+	}
+	if in.Res.RBs < 0 || in.Res.ComputeSeconds < 0 || in.Res.MemoryGB < 0 {
+		return fmt.Errorf("%w: negative resource capacity", ErrModel)
+	}
+	if in.Res.TrainBudgetSeconds <= 0 {
+		return fmt.Errorf("%w: train budget must be positive (it normalizes the objective)", ErrModel)
+	}
+	seen := make(map[string]bool, len(in.Tasks))
+	for i, t := range in.Tasks {
+		if t.ID == "" {
+			return fmt.Errorf("%w: task %d has empty ID", ErrModel, i)
+		}
+		if seen[t.ID] {
+			return fmt.Errorf("%w: duplicate task ID %q", ErrModel, t.ID)
+		}
+		seen[t.ID] = true
+		if t.Priority < 0 || t.Priority > 1 {
+			return fmt.Errorf("%w: task %s priority %v outside [0,1]", ErrModel, t.ID, t.Priority)
+		}
+		if t.Rate <= 0 {
+			return fmt.Errorf("%w: task %s rate %v must be positive", ErrModel, t.ID, t.Rate)
+		}
+		if t.MaxLatency <= 0 {
+			return fmt.Errorf("%w: task %s latency bound %v must be positive", ErrModel, t.ID, t.MaxLatency)
+		}
+		if t.InputBits <= 0 {
+			return fmt.Errorf("%w: task %s input bits %v must be positive", ErrModel, t.ID, t.InputBits)
+		}
+		for _, p := range t.Paths {
+			if len(p.Blocks) == 0 {
+				return fmt.Errorf("%w: task %s path %s has no blocks", ErrModel, t.ID, p.ID)
+			}
+			for _, b := range p.Blocks {
+				if _, ok := in.Blocks[b]; !ok {
+					return fmt.Errorf("%w: task %s path %s references unknown block %q", ErrModel, t.ID, p.ID, b)
+				}
+			}
+		}
+	}
+	for id, b := range in.Blocks {
+		if b.ID != id {
+			return fmt.Errorf("%w: block map key %q does not match ID %q", ErrModel, id, b.ID)
+		}
+		if b.ComputeSeconds < 0 || b.MemoryGB < 0 || b.TrainSeconds < 0 {
+			return fmt.Errorf("%w: block %s has negative cost", ErrModel, id)
+		}
+	}
+	return nil
+}
+
+// PathCompute returns the processing component Σ c(s) of a path.
+func (in *Instance) PathCompute(p *PathSpec) float64 {
+	t := 0.0
+	for _, id := range p.Blocks {
+		t += in.Blocks[id].ComputeSeconds
+	}
+	return t
+}
+
+// BlockMemoryGB returns µ(s), honoring predeployment.
+func (in *Instance) BlockMemoryGB(id string) float64 {
+	if in.Predeployed[id] {
+		return 0
+	}
+	return in.Blocks[id].MemoryGB
+}
+
+// BlockTrainSeconds returns ct(s), honoring predeployment.
+func (in *Instance) BlockTrainSeconds(id string) float64 {
+	if in.Predeployed[id] {
+		return 0
+	}
+	return in.Blocks[id].TrainSeconds
+}
+
+// Assignment is the per-task part of a solution.
+type Assignment struct {
+	// TaskID names the task.
+	TaskID string
+	// Path is the selected execution (nil when the task is rejected).
+	Path *PathSpec
+	// Quality is the selected input-quality level; nil means full
+	// quality (the task's InputBits).
+	Quality *QualityLevel
+	// Z is the admitted fraction of the request rate.
+	Z float64
+	// RBs is r_τ, the slice size allocated to the task.
+	RBs int
+}
+
+// Bits returns β(q) for the assignment's quality level, defaulting to the
+// task's full-quality input size.
+func (a Assignment) Bits(task *Task) float64 {
+	if a.Quality != nil {
+		return a.Quality.Bits
+	}
+	return task.InputBits
+}
+
+// Accuracy returns a_τ(q, π): the path accuracy minus the quality
+// penalty. It returns 0 when no path is selected.
+func (a Assignment) Accuracy() float64 {
+	if a.Path == nil {
+		return 0
+	}
+	acc := a.Path.Accuracy
+	if a.Quality != nil {
+		acc -= a.Quality.AccuracyDelta
+	}
+	return acc
+}
+
+// Admitted reports whether any fraction of the task was admitted.
+func (a Assignment) Admitted() bool { return a.Z > 0 && a.Path != nil }
+
+// Solution is a complete DOT assignment with its cost breakdown.
+type Solution struct {
+	// Assignments are parallel to Instance.Tasks.
+	Assignments []Assignment
+	// Cost is the DOT objective (1a).
+	Cost float64
+	// Breakdown of the objective and resource usage.
+	Breakdown Breakdown
+	// Runtime of the solver call.
+	Runtime time.Duration
+}
+
+// Breakdown decomposes the objective value and records resource usage —
+// the quantities Figs. 7, 8 and 10 plot.
+type Breakdown struct {
+	// AdmissionTerm is Σ α(1−z)p.
+	AdmissionTerm float64
+	// TrainTerm is (1−α)·Σ_{active s} ct(s)/Ct.
+	TrainTerm float64
+	// RadioTerm is (1−α)·Σ zλ r/R.
+	RadioTerm float64
+	// InferTerm is (1−α)·Σ zλ c(π)/C.
+	InferTerm float64
+	// WeightedAdmission is Σ z·p (Fig. 8 left metric).
+	WeightedAdmission float64
+	// MemoryGB is the total deployed memory of active blocks.
+	MemoryGB float64
+	// RBsAllocated is Σ z·r (constraint (1d) usage).
+	RBsAllocated float64
+	// ComputeUsage is Σ zλ c(π) in seconds per second (constraint (1c)).
+	ComputeUsage float64
+	// TrainSeconds is Σ_{active s} ct(s).
+	TrainSeconds float64
+	// ActiveBlocks are the distinct blocks used by admitted tasks.
+	ActiveBlocks []string
+	// AdmittedTasks counts tasks with z > 0.
+	AdmittedTasks int
+	// FullyAdmittedTasks counts tasks with z ≈ 1.
+	FullyAdmittedTasks int
+}

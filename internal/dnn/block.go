@@ -1,0 +1,136 @@
+package dnn
+
+import (
+	"fmt"
+
+	"offloadnn/internal/tensor"
+)
+
+// Variant distinguishes the provenance of a layer-block, which determines
+// whether the block carries a training cost (fine-tuned/pruned variants do,
+// pre-trained base blocks do not) and whether it can be shared.
+type Variant int
+
+// Block variants. A pruned block is always derived from a fine-tuned one
+// (or from the base when the whole DNN is pruned, as in CONFIG A-pruned).
+const (
+	VariantBase Variant = iota + 1
+	VariantFineTuned
+	VariantPruned
+)
+
+// String implements fmt.Stringer.
+func (v Variant) String() string {
+	switch v {
+	case VariantBase:
+		return "base"
+	case VariantFineTuned:
+		return "fine-tuned"
+	case VariantPruned:
+		return "pruned"
+	default:
+		return fmt.Sprintf("variant(%d)", int(v))
+	}
+}
+
+// Block is the paper's s^d: a named group of layers that is the unit of
+// sharing, freezing, fine-tuning and pruning.
+type Block struct {
+	// ID uniquely identifies the block across DNN structures; two paths
+	// naming the same ID share one in-memory copy of the block.
+	ID string
+	// Stage is the position of the block in its architecture (1-based).
+	Stage int
+	// Variant records base / fine-tuned / pruned provenance.
+	Variant Variant
+	// PruneRatio is the fraction of internal channels removed (0 when the
+	// block is unpruned).
+	PruneRatio float64
+	// Frozen blocks skip parameter updates and gradient accumulation at
+	// the optimizer level; shared base blocks are frozen during
+	// fine-tuning of task-specific blocks.
+	Frozen bool
+
+	layers []Layer
+}
+
+// NewBlock groups the given layers under an identifier.
+func NewBlock(id string, stage int, variant Variant, layers ...Layer) *Block {
+	return &Block{ID: id, Stage: stage, Variant: variant, layers: layers}
+}
+
+// Layers returns the block's layers in forward order.
+func (b *Block) Layers() []Layer {
+	out := make([]Layer, len(b.layers))
+	copy(out, b.layers)
+	return out
+}
+
+// Forward runs all layers in order.
+func (b *Block) Forward(x *tensor.Tensor, training bool) (*tensor.Tensor, error) {
+	var err error
+	for _, l := range b.layers {
+		x, err = l.Forward(x, training)
+		if err != nil {
+			return nil, fmt.Errorf("block %s: %w", b.ID, err)
+		}
+	}
+	return x, nil
+}
+
+// Backward runs all layers in reverse order.
+func (b *Block) Backward(dy *tensor.Tensor) (*tensor.Tensor, error) {
+	var err error
+	for i := len(b.layers) - 1; i >= 0; i-- {
+		dy, err = b.layers[i].Backward(dy)
+		if err != nil {
+			return nil, fmt.Errorf("block %s: %w", b.ID, err)
+		}
+	}
+	return dy, nil
+}
+
+// Params returns all trainable parameters of the block.
+func (b *Block) Params() []*tensor.Tensor {
+	var out []*tensor.Tensor
+	for _, l := range b.layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// Grads returns all parameter gradients of the block.
+func (b *Block) Grads() []*tensor.Tensor {
+	var out []*tensor.Tensor
+	for _, l := range b.layers {
+		out = append(out, l.Grads()...)
+	}
+	return out
+}
+
+// ZeroGrads clears accumulated gradients in every layer.
+func (b *Block) ZeroGrads() {
+	for _, l := range b.layers {
+		l.ZeroGrads()
+	}
+}
+
+// ParamCount returns the number of scalar parameters in the block.
+func (b *Block) ParamCount() int {
+	n := 0
+	for _, l := range b.layers {
+		n += ParamCount(l)
+	}
+	return n
+}
+
+// MemoryBytes estimates the deployed (inference) memory footprint of the
+// block: parameters stored as float32 plus a small per-layer bookkeeping
+// overhead, matching how the paper charges µ(s^d) per active block.
+func (b *Block) MemoryBytes() int64 {
+	const (
+		bytesPerParam    = 4   // float32 deployment
+		perLayerOverhead = 256 // descriptors, shapes, buffers
+	)
+	return int64(b.ParamCount())*bytesPerParam + int64(len(b.layers))*perLayerOverhead
+}

@@ -1,0 +1,412 @@
+// Package dnn builds dynamic DNN structures out of layer-blocks, the unit
+// of sharing, fine-tuning and pruning in OffloaDNN. It provides trainable
+// layers on top of the tensor engine, ResNet-18 and MobileNetV2-style
+// builders, structured channel pruning, and the Table-I configuration
+// catalog (CONFIG A–E and their pruned variants).
+//
+// The package follows the paper's terminology: a *block* s^d groups one or
+// more layers (e.g., a ResNet residual stage); a *path* π is the sequence
+// of blocks selected to serve a task; blocks may be shared across paths.
+package dnn
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"offloadnn/internal/tensor"
+)
+
+// ErrState reports a layer used out of order (e.g., Backward before
+// Forward).
+var ErrState = errors.New("dnn: invalid layer state")
+
+// Layer is a differentiable network stage. Layers cache whatever forward
+// intermediates they need, so Backward must follow the matching Forward.
+// Layers are not safe for concurrent use.
+type Layer interface {
+	// Name returns a short human-readable identifier.
+	Name() string
+	// Forward computes the layer output. When training is false the layer
+	// may skip caching and use inference statistics (e.g., batch norm).
+	Forward(x *tensor.Tensor, training bool) (*tensor.Tensor, error)
+	// Backward consumes the upstream gradient and returns the gradient
+	// with respect to the layer input, accumulating parameter gradients.
+	Backward(dy *tensor.Tensor) (*tensor.Tensor, error)
+	// Params returns the trainable parameter tensors (possibly empty).
+	Params() []*tensor.Tensor
+	// Grads returns gradient tensors parallel to Params.
+	Grads() []*tensor.Tensor
+	// ZeroGrads clears accumulated parameter gradients.
+	ZeroGrads()
+}
+
+// ParamCount sums the number of scalar parameters of a layer.
+func ParamCount(l Layer) int {
+	n := 0
+	for _, p := range l.Params() {
+		n += p.Len()
+	}
+	return n
+}
+
+// ConvLayer is a 2-D convolution with optional bias.
+type ConvLayer struct {
+	name   string
+	P      tensor.Conv2DParams
+	W      *tensor.Tensor
+	B      *tensor.Tensor // nil means no bias (ResNet convs are biasless)
+	dW     *tensor.Tensor
+	dB     *tensor.Tensor
+	lastX  *tensor.Tensor
+	hasFwd bool
+}
+
+// NewConvLayer constructs a Kaiming-initialized convolution.
+func NewConvLayer(name string, p tensor.Conv2DParams, bias bool, rng *rand.Rand) *ConvLayer {
+	l := &ConvLayer{
+		name: name,
+		P:    p,
+		W:    tensor.New(p.OutChannels, p.InChannels, p.Kernel, p.Kernel),
+		dW:   tensor.New(p.OutChannels, p.InChannels, p.Kernel, p.Kernel),
+	}
+	tensor.KaimingInit(l.W, p.InChannels*p.Kernel*p.Kernel, rng)
+	if bias {
+		l.B = tensor.New(p.OutChannels)
+		l.dB = tensor.New(p.OutChannels)
+	}
+	return l
+}
+
+// Name implements Layer.
+func (l *ConvLayer) Name() string { return l.name }
+
+// Forward implements Layer.
+func (l *ConvLayer) Forward(x *tensor.Tensor, training bool) (*tensor.Tensor, error) {
+	y, err := tensor.Conv2D(x, l.W, l.B, l.P)
+	if err != nil {
+		return nil, fmt.Errorf("conv %s: %w", l.name, err)
+	}
+	if training {
+		l.lastX = x
+		l.hasFwd = true
+	}
+	return y, nil
+}
+
+// Backward implements Layer.
+func (l *ConvLayer) Backward(dy *tensor.Tensor) (*tensor.Tensor, error) {
+	if !l.hasFwd {
+		return nil, fmt.Errorf("%w: conv %s backward before forward", ErrState, l.name)
+	}
+	grads, err := tensor.Conv2DBackward(dy, l.lastX, l.W, l.P, l.B != nil)
+	if err != nil {
+		return nil, fmt.Errorf("conv %s backward: %w", l.name, err)
+	}
+	if err := l.dW.AddInPlace(grads.DW); err != nil {
+		return nil, err
+	}
+	if l.dB != nil {
+		if err := l.dB.AddInPlace(grads.DB); err != nil {
+			return nil, err
+		}
+	}
+	return grads.DX, nil
+}
+
+// Params implements Layer.
+func (l *ConvLayer) Params() []*tensor.Tensor {
+	if l.B != nil {
+		return []*tensor.Tensor{l.W, l.B}
+	}
+	return []*tensor.Tensor{l.W}
+}
+
+// Grads implements Layer.
+func (l *ConvLayer) Grads() []*tensor.Tensor {
+	if l.dB != nil {
+		return []*tensor.Tensor{l.dW, l.dB}
+	}
+	return []*tensor.Tensor{l.dW}
+}
+
+// ZeroGrads implements Layer.
+func (l *ConvLayer) ZeroGrads() {
+	l.dW.Zero()
+	if l.dB != nil {
+		l.dB.Zero()
+	}
+}
+
+// BatchNormLayer wraps tensor.BatchNorm2D as a trainable layer.
+type BatchNormLayer struct {
+	name    string
+	State   *tensor.BatchNormState
+	dGamma  *tensor.Tensor
+	dBeta   *tensor.Tensor
+	lastRes *tensor.BatchNormResult
+}
+
+// NewBatchNormLayer constructs a batch-norm layer over the given channels.
+func NewBatchNormLayer(name string, channels int) *BatchNormLayer {
+	return &BatchNormLayer{
+		name:   name,
+		State:  tensor.NewBatchNormState(channels),
+		dGamma: tensor.New(channels),
+		dBeta:  tensor.New(channels),
+	}
+}
+
+// Name implements Layer.
+func (l *BatchNormLayer) Name() string { return l.name }
+
+// Forward implements Layer.
+func (l *BatchNormLayer) Forward(x *tensor.Tensor, training bool) (*tensor.Tensor, error) {
+	res, err := tensor.BatchNorm2D(x, l.State, training)
+	if err != nil {
+		return nil, fmt.Errorf("bn %s: %w", l.name, err)
+	}
+	if training {
+		l.lastRes = res
+	}
+	return res.Out, nil
+}
+
+// Backward implements Layer.
+func (l *BatchNormLayer) Backward(dy *tensor.Tensor) (*tensor.Tensor, error) {
+	if l.lastRes == nil {
+		return nil, fmt.Errorf("%w: bn %s backward before forward", ErrState, l.name)
+	}
+	grads, err := l.lastRes.Backward(dy)
+	if err != nil {
+		return nil, fmt.Errorf("bn %s backward: %w", l.name, err)
+	}
+	if err := l.dGamma.AddInPlace(grads.DGamma); err != nil {
+		return nil, err
+	}
+	if err := l.dBeta.AddInPlace(grads.DBeta); err != nil {
+		return nil, err
+	}
+	return grads.DX, nil
+}
+
+// Params implements Layer.
+func (l *BatchNormLayer) Params() []*tensor.Tensor {
+	return []*tensor.Tensor{l.State.Gamma, l.State.Beta}
+}
+
+// Grads implements Layer.
+func (l *BatchNormLayer) Grads() []*tensor.Tensor {
+	return []*tensor.Tensor{l.dGamma, l.dBeta}
+}
+
+// ZeroGrads implements Layer.
+func (l *BatchNormLayer) ZeroGrads() {
+	l.dGamma.Zero()
+	l.dBeta.Zero()
+}
+
+// ReLULayer is a parameter-free rectifier.
+type ReLULayer struct {
+	name string
+	mask []bool
+}
+
+// NewReLULayer constructs a named ReLU.
+func NewReLULayer(name string) *ReLULayer { return &ReLULayer{name: name} }
+
+// Name implements Layer.
+func (l *ReLULayer) Name() string { return l.name }
+
+// Forward implements Layer.
+func (l *ReLULayer) Forward(x *tensor.Tensor, training bool) (*tensor.Tensor, error) {
+	y, mask := tensor.ReLU(x)
+	if training {
+		l.mask = mask
+	}
+	return y, nil
+}
+
+// Backward implements Layer.
+func (l *ReLULayer) Backward(dy *tensor.Tensor) (*tensor.Tensor, error) {
+	if l.mask == nil {
+		return nil, fmt.Errorf("%w: relu %s backward before forward", ErrState, l.name)
+	}
+	dx, err := tensor.ReLUBackward(dy, l.mask)
+	if err != nil {
+		return nil, fmt.Errorf("relu %s backward: %w", l.name, err)
+	}
+	return dx, nil
+}
+
+// Params implements Layer.
+func (l *ReLULayer) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (l *ReLULayer) Grads() []*tensor.Tensor { return nil }
+
+// ZeroGrads implements Layer.
+func (l *ReLULayer) ZeroGrads() {}
+
+// MaxPoolLayer wraps tensor.MaxPool2D.
+type MaxPoolLayer struct {
+	name string
+	P    tensor.PoolParams
+	last *tensor.MaxPool2DResult
+}
+
+// NewMaxPoolLayer constructs a max-pooling layer.
+func NewMaxPoolLayer(name string, p tensor.PoolParams) *MaxPoolLayer {
+	return &MaxPoolLayer{name: name, P: p}
+}
+
+// Name implements Layer.
+func (l *MaxPoolLayer) Name() string { return l.name }
+
+// Forward implements Layer.
+func (l *MaxPoolLayer) Forward(x *tensor.Tensor, training bool) (*tensor.Tensor, error) {
+	res, err := tensor.MaxPool2D(x, l.P)
+	if err != nil {
+		return nil, fmt.Errorf("maxpool %s: %w", l.name, err)
+	}
+	if training {
+		l.last = res
+	}
+	return res.Out, nil
+}
+
+// Backward implements Layer.
+func (l *MaxPoolLayer) Backward(dy *tensor.Tensor) (*tensor.Tensor, error) {
+	if l.last == nil {
+		return nil, fmt.Errorf("%w: maxpool %s backward before forward", ErrState, l.name)
+	}
+	dx, err := l.last.Backward(dy)
+	if err != nil {
+		return nil, fmt.Errorf("maxpool %s backward: %w", l.name, err)
+	}
+	return dx, nil
+}
+
+// Params implements Layer.
+func (l *MaxPoolLayer) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (l *MaxPoolLayer) Grads() []*tensor.Tensor { return nil }
+
+// ZeroGrads implements Layer.
+func (l *MaxPoolLayer) ZeroGrads() {}
+
+// GlobalAvgPoolLayer reduces (N,C,H,W) to (N,C).
+type GlobalAvgPoolLayer struct {
+	name    string
+	inShape []int
+}
+
+// NewGlobalAvgPoolLayer constructs a global average pooling layer.
+func NewGlobalAvgPoolLayer(name string) *GlobalAvgPoolLayer {
+	return &GlobalAvgPoolLayer{name: name}
+}
+
+// Name implements Layer.
+func (l *GlobalAvgPoolLayer) Name() string { return l.name }
+
+// Forward implements Layer.
+func (l *GlobalAvgPoolLayer) Forward(x *tensor.Tensor, training bool) (*tensor.Tensor, error) {
+	y, err := tensor.GlobalAvgPool2D(x)
+	if err != nil {
+		return nil, fmt.Errorf("gap %s: %w", l.name, err)
+	}
+	if training {
+		l.inShape = x.Shape()
+	}
+	return y, nil
+}
+
+// Backward implements Layer.
+func (l *GlobalAvgPoolLayer) Backward(dy *tensor.Tensor) (*tensor.Tensor, error) {
+	if l.inShape == nil {
+		return nil, fmt.Errorf("%w: gap %s backward before forward", ErrState, l.name)
+	}
+	dx, err := tensor.GlobalAvgPool2DBackward(dy, l.inShape)
+	if err != nil {
+		return nil, fmt.Errorf("gap %s backward: %w", l.name, err)
+	}
+	return dx, nil
+}
+
+// Params implements Layer.
+func (l *GlobalAvgPoolLayer) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (l *GlobalAvgPoolLayer) Grads() []*tensor.Tensor { return nil }
+
+// ZeroGrads implements Layer.
+func (l *GlobalAvgPoolLayer) ZeroGrads() {}
+
+// LinearLayer is a fully connected layer with bias.
+type LinearLayer struct {
+	name  string
+	W     *tensor.Tensor
+	B     *tensor.Tensor
+	dW    *tensor.Tensor
+	dB    *tensor.Tensor
+	lastX *tensor.Tensor
+}
+
+// NewLinearLayer constructs a Xavier-initialized fully connected layer.
+func NewLinearLayer(name string, in, out int, rng *rand.Rand) *LinearLayer {
+	l := &LinearLayer{
+		name: name,
+		W:    tensor.New(out, in),
+		B:    tensor.New(out),
+		dW:   tensor.New(out, in),
+		dB:   tensor.New(out),
+	}
+	tensor.XavierInit(l.W, in, out, rng)
+	return l
+}
+
+// Name implements Layer.
+func (l *LinearLayer) Name() string { return l.name }
+
+// Forward implements Layer.
+func (l *LinearLayer) Forward(x *tensor.Tensor, training bool) (*tensor.Tensor, error) {
+	y, err := tensor.Linear(x, l.W, l.B)
+	if err != nil {
+		return nil, fmt.Errorf("linear %s: %w", l.name, err)
+	}
+	if training {
+		l.lastX = x
+	}
+	return y, nil
+}
+
+// Backward implements Layer.
+func (l *LinearLayer) Backward(dy *tensor.Tensor) (*tensor.Tensor, error) {
+	if l.lastX == nil {
+		return nil, fmt.Errorf("%w: linear %s backward before forward", ErrState, l.name)
+	}
+	grads, err := tensor.LinearBackward(dy, l.lastX, l.W, true)
+	if err != nil {
+		return nil, fmt.Errorf("linear %s backward: %w", l.name, err)
+	}
+	if err := l.dW.AddInPlace(grads.DW); err != nil {
+		return nil, err
+	}
+	if err := l.dB.AddInPlace(grads.DB); err != nil {
+		return nil, err
+	}
+	return grads.DX, nil
+}
+
+// Params implements Layer.
+func (l *LinearLayer) Params() []*tensor.Tensor { return []*tensor.Tensor{l.W, l.B} }
+
+// Grads implements Layer.
+func (l *LinearLayer) Grads() []*tensor.Tensor { return []*tensor.Tensor{l.dW, l.dB} }
+
+// ZeroGrads implements Layer.
+func (l *LinearLayer) ZeroGrads() {
+	l.dW.Zero()
+	l.dB.Zero()
+}

@@ -1,0 +1,212 @@
+package dnn
+
+import (
+	"fmt"
+
+	"offloadnn/internal/tensor"
+)
+
+// Model is a sequence of layer-blocks ending in a classifier. Models built
+// for different tasks may alias the same *Block values; the aliased blocks
+// are then deployed (and their memory charged) once, which is the memory
+// sharing the DOT formulation exploits.
+type Model struct {
+	// Arch names the architecture family (e.g., "resnet18").
+	Arch string
+	// Blocks in forward order: stem, stages, classifier.
+	Blocks []*Block
+}
+
+// Forward runs the full model.
+func (m *Model) Forward(x *tensor.Tensor, training bool) (*tensor.Tensor, error) {
+	var err error
+	for _, b := range m.Blocks {
+		x, err = b.Forward(x, training)
+		if err != nil {
+			return nil, fmt.Errorf("model %s: %w", m.Arch, err)
+		}
+	}
+	return x, nil
+}
+
+// Backward propagates the loss gradient through all blocks (frozen blocks
+// still propagate input gradients but their parameter updates are skipped
+// by the optimizer, mirroring requires_grad=False fine-tuning).
+func (m *Model) Backward(dy *tensor.Tensor) (*tensor.Tensor, error) {
+	var err error
+	for i := len(m.Blocks) - 1; i >= 0; i-- {
+		// Gradients below the deepest trainable block are never consumed,
+		// so stop early: this is what makes frozen-backbone fine-tuning
+		// cheaper, the effect Fig. 2(right) measures.
+		dy, err = m.Blocks[i].Backward(dy)
+		if err != nil {
+			return nil, fmt.Errorf("model %s: %w", m.Arch, err)
+		}
+		if i > 0 && m.lowestTrainable() == i {
+			return dy, nil
+		}
+	}
+	return dy, nil
+}
+
+// lowestTrainable returns the index of the first non-frozen block, or
+// len(Blocks) when everything is frozen.
+func (m *Model) lowestTrainable() int {
+	for i, b := range m.Blocks {
+		if !b.Frozen {
+			return i
+		}
+	}
+	return len(m.Blocks)
+}
+
+// ZeroGrads clears accumulated gradients in all blocks.
+func (m *Model) ZeroGrads() {
+	for _, b := range m.Blocks {
+		b.ZeroGrads()
+	}
+}
+
+// TrainableParams returns the parameters of non-frozen blocks only.
+func (m *Model) TrainableParams() []*tensor.Tensor {
+	var out []*tensor.Tensor
+	for _, b := range m.Blocks {
+		if !b.Frozen {
+			out = append(out, b.Params()...)
+		}
+	}
+	return out
+}
+
+// TrainableGrads returns gradients parallel to TrainableParams.
+func (m *Model) TrainableGrads() []*tensor.Tensor {
+	var out []*tensor.Tensor
+	for _, b := range m.Blocks {
+		if !b.Frozen {
+			out = append(out, b.Grads()...)
+		}
+	}
+	return out
+}
+
+// ParamCount returns the total number of scalar parameters.
+func (m *Model) ParamCount() int {
+	n := 0
+	for _, b := range m.Blocks {
+		n += b.ParamCount()
+	}
+	return n
+}
+
+// TrainableParamCount returns the number of parameters in non-frozen
+// blocks.
+func (m *Model) TrainableParamCount() int {
+	n := 0
+	for _, b := range m.Blocks {
+		if !b.Frozen {
+			n += b.ParamCount()
+		}
+	}
+	return n
+}
+
+// MemoryBytes sums the deployment footprint of all blocks. When several
+// models alias blocks, use DeployedMemoryBytes over the model set instead.
+func (m *Model) MemoryBytes() int64 {
+	var n int64
+	for _, b := range m.Blocks {
+		n += b.MemoryBytes()
+	}
+	return n
+}
+
+// FreezeStages freezes the blocks whose Stage number appears in stages
+// (stage 0 is the stem, 1–4 the residual stages, 5 the classifier).
+func (m *Model) FreezeStages(stages ...int) {
+	set := make(map[int]bool, len(stages))
+	for _, s := range stages {
+		set[s] = true
+	}
+	for _, b := range m.Blocks {
+		if set[b.Stage] {
+			b.Frozen = true
+		}
+	}
+}
+
+// BlockByStage returns the block with the given stage number, or nil.
+func (m *Model) BlockByStage(stage int) *Block {
+	for _, b := range m.Blocks {
+		if b.Stage == stage {
+			return b
+		}
+	}
+	return nil
+}
+
+// DeployedMemoryBytes computes the total memory of a set of models counting
+// each distinct block (by pointer identity) once — the m(s^d) semantics of
+// constraint (1b).
+func DeployedMemoryBytes(models []*Model) int64 {
+	seen := make(map[*Block]bool)
+	var total int64
+	for _, m := range models {
+		for _, b := range m.Blocks {
+			if !seen[b] {
+				seen[b] = true
+				total += b.MemoryBytes()
+			}
+		}
+	}
+	return total
+}
+
+// CopyWeights copies parameter values from src into dst. The two blocks
+// must have identical parameter shapes (i.e., same structure and widths).
+func CopyWeights(dst, src *Block) error {
+	dp, sp := dst.Params(), src.Params()
+	if len(dp) != len(sp) {
+		return fmt.Errorf("dnn: copy weights %s<-%s: %d vs %d params", dst.ID, src.ID, len(dp), len(sp))
+	}
+	for i := range dp {
+		if !dp[i].SameShape(sp[i]) {
+			return fmt.Errorf("dnn: copy weights %s<-%s: param %d shape %v vs %v",
+				dst.ID, src.ID, i, dp[i].Shape(), sp[i].Shape())
+		}
+		copy(dp[i].Data(), sp[i].Data())
+	}
+	// Batch-norm running statistics are state, not parameters; copy them
+	// too so an evaluation-mode clone behaves identically.
+	copyRunningStats(dst, src)
+	return nil
+}
+
+func copyRunningStats(dst, src *Block) {
+	db := collectBN(dst)
+	sb := collectBN(src)
+	if len(db) != len(sb) {
+		return
+	}
+	for i := range db {
+		if db[i].State.Channels() == sb[i].State.Channels() {
+			copy(db[i].State.RunningMean.Data(), sb[i].State.RunningMean.Data())
+			copy(db[i].State.RunningVar.Data(), sb[i].State.RunningVar.Data())
+		}
+	}
+}
+
+func collectBN(b *Block) []*BatchNormLayer {
+	var out []*BatchNormLayer
+	for _, l := range b.layers {
+		switch v := l.(type) {
+		case *BatchNormLayer:
+			out = append(out, v)
+		case *BasicBlock:
+			out = append(out, v.BN1, v.BN2)
+			if v.DownBN != nil {
+				out = append(out, v.DownBN)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,285 @@
+package dnn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"offloadnn/internal/tensor"
+)
+
+// BasicBlock is the ResNet-18 residual unit:
+//
+//	y = relu( bn2(conv2( relu(bn1(conv1 x)) )) + skip(x) )
+//
+// where skip is the identity, or a 1×1 strided conv + bn when the spatial
+// size or channel count changes. The internal width (conv1 output
+// channels) is independently configurable, which is where structured
+// pruning removes channels without changing the block interface.
+type BasicBlock struct {
+	name string
+
+	Conv1 *ConvLayer
+	BN1   *BatchNormLayer
+	Relu1 *ReLULayer
+	Conv2 *ConvLayer
+	BN2   *BatchNormLayer
+
+	// DownConv/DownBN implement the projection shortcut; nil for identity.
+	DownConv *ConvLayer
+	DownBN   *BatchNormLayer
+
+	relu2Mask []bool
+	lastX     *tensor.Tensor
+}
+
+// NewBasicBlock constructs a residual unit mapping in→out channels with the
+// given stride and internal width mid (the pruning axis).
+func NewBasicBlock(name string, in, mid, out, stride int, rng *rand.Rand) *BasicBlock {
+	b := &BasicBlock{
+		name: name,
+		Conv1: NewConvLayer(name+".conv1", tensor.Conv2DParams{
+			InChannels: in, OutChannels: mid, Kernel: 3, Stride: stride, Padding: 1,
+		}, false, rng),
+		BN1:   NewBatchNormLayer(name+".bn1", mid),
+		Relu1: NewReLULayer(name + ".relu1"),
+		Conv2: NewConvLayer(name+".conv2", tensor.Conv2DParams{
+			InChannels: mid, OutChannels: out, Kernel: 3, Stride: 1, Padding: 1,
+		}, false, rng),
+		BN2: NewBatchNormLayer(name+".bn2", out),
+	}
+	if stride != 1 || in != out {
+		b.DownConv = NewConvLayer(name+".down", tensor.Conv2DParams{
+			InChannels: in, OutChannels: out, Kernel: 1, Stride: stride,
+		}, false, rng)
+		b.DownBN = NewBatchNormLayer(name+".downbn", out)
+	}
+	return b
+}
+
+// MidChannels returns the internal width of the block.
+func (b *BasicBlock) MidChannels() int { return b.Conv1.P.OutChannels }
+
+// Name implements Layer.
+func (b *BasicBlock) Name() string { return b.name }
+
+// Forward implements Layer.
+func (b *BasicBlock) Forward(x *tensor.Tensor, training bool) (*tensor.Tensor, error) {
+	h, err := b.Conv1.Forward(x, training)
+	if err != nil {
+		return nil, err
+	}
+	if h, err = b.BN1.Forward(h, training); err != nil {
+		return nil, err
+	}
+	if h, err = b.Relu1.Forward(h, training); err != nil {
+		return nil, err
+	}
+	if h, err = b.Conv2.Forward(h, training); err != nil {
+		return nil, err
+	}
+	if h, err = b.BN2.Forward(h, training); err != nil {
+		return nil, err
+	}
+	skip := x
+	if b.DownConv != nil {
+		if skip, err = b.DownConv.Forward(x, training); err != nil {
+			return nil, err
+		}
+		if skip, err = b.DownBN.Forward(skip, training); err != nil {
+			return nil, err
+		}
+	}
+	if err = h.AddInPlace(skip); err != nil {
+		return nil, fmt.Errorf("block %s residual add: %w", b.name, err)
+	}
+	mask := tensor.ReLUInPlace(h)
+	if training {
+		b.relu2Mask = mask
+		b.lastX = x
+	}
+	return h, nil
+}
+
+// Backward implements Layer.
+func (b *BasicBlock) Backward(dy *tensor.Tensor) (*tensor.Tensor, error) {
+	if b.relu2Mask == nil {
+		return nil, fmt.Errorf("%w: block %s backward before forward", ErrState, b.name)
+	}
+	dSum, err := tensor.ReLUBackward(dy, b.relu2Mask)
+	if err != nil {
+		return nil, fmt.Errorf("block %s: %w", b.name, err)
+	}
+	// Main path.
+	d, err := b.BN2.Backward(dSum)
+	if err != nil {
+		return nil, err
+	}
+	if d, err = b.Conv2.Backward(d); err != nil {
+		return nil, err
+	}
+	if d, err = b.Relu1.Backward(d); err != nil {
+		return nil, err
+	}
+	if d, err = b.BN1.Backward(d); err != nil {
+		return nil, err
+	}
+	dxMain, err := b.Conv1.Backward(d)
+	if err != nil {
+		return nil, err
+	}
+	// Skip path.
+	dxSkip := dSum
+	if b.DownConv != nil {
+		if dxSkip, err = b.DownBN.Backward(dSum); err != nil {
+			return nil, err
+		}
+		if dxSkip, err = b.DownConv.Backward(dxSkip); err != nil {
+			return nil, err
+		}
+	}
+	if err = dxMain.AddInPlace(dxSkip); err != nil {
+		return nil, fmt.Errorf("block %s skip-grad add: %w", b.name, err)
+	}
+	return dxMain, nil
+}
+
+// Params implements Layer.
+func (b *BasicBlock) Params() []*tensor.Tensor {
+	out := append([]*tensor.Tensor{}, b.Conv1.Params()...)
+	out = append(out, b.BN1.Params()...)
+	out = append(out, b.Conv2.Params()...)
+	out = append(out, b.BN2.Params()...)
+	if b.DownConv != nil {
+		out = append(out, b.DownConv.Params()...)
+		out = append(out, b.DownBN.Params()...)
+	}
+	return out
+}
+
+// Grads implements Layer.
+func (b *BasicBlock) Grads() []*tensor.Tensor {
+	out := append([]*tensor.Tensor{}, b.Conv1.Grads()...)
+	out = append(out, b.BN1.Grads()...)
+	out = append(out, b.Conv2.Grads()...)
+	out = append(out, b.BN2.Grads()...)
+	if b.DownConv != nil {
+		out = append(out, b.DownConv.Grads()...)
+		out = append(out, b.DownBN.Grads()...)
+	}
+	return out
+}
+
+// ZeroGrads implements Layer.
+func (b *BasicBlock) ZeroGrads() {
+	b.Conv1.ZeroGrads()
+	b.BN1.ZeroGrads()
+	b.Conv2.ZeroGrads()
+	b.BN2.ZeroGrads()
+	if b.DownConv != nil {
+		b.DownConv.ZeroGrads()
+		b.DownBN.ZeroGrads()
+	}
+}
+
+// ResNetConfig parameterizes the scaled ResNet-18 builder. The paper uses
+// the full ResNet-18 (BaseWidth 64, 224×224 inputs); tests and the
+// profiler use reduced widths and image sizes, which preserve the relative
+// per-stage cost shape.
+type ResNetConfig struct {
+	// InChannels of the input images (3 for RGB).
+	InChannels int
+	// NumClasses of the classifier head.
+	NumClasses int
+	// BaseWidth is the channel count of the first stage (64 in ResNet-18).
+	BaseWidth int
+	// StageBlocks is the number of residual units per stage ({2,2,2,2}
+	// for ResNet-18).
+	StageBlocks [4]int
+	// PruneRatios optionally shrinks the internal width of each stage's
+	// blocks by the given fraction (0 = unpruned).
+	PruneRatios [4]float64
+	// Seed drives weight initialization.
+	Seed int64
+}
+
+// DefaultResNetConfig returns a test-scale ResNet-18: width 8, 2 units per
+// stage, 8 classes.
+func DefaultResNetConfig() ResNetConfig {
+	return ResNetConfig{
+		InChannels:  3,
+		NumClasses:  8,
+		BaseWidth:   8,
+		StageBlocks: [4]int{2, 2, 2, 2},
+		Seed:        1,
+	}
+}
+
+// prunedWidth applies a prune ratio to a width, keeping at least one
+// channel.
+func prunedWidth(w int, ratio float64) int {
+	if ratio <= 0 {
+		return w
+	}
+	if ratio >= 1 {
+		return 1
+	}
+	p := int(float64(w) * (1 - ratio))
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// BuildResNet18 constructs the six-block model used throughout the
+// reproduction: a stem block, four residual stages (the paper's four
+// "layer-blocks") and a classifier block.
+func BuildResNet18(cfg ResNetConfig) *Model {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	w := cfg.BaseWidth
+	widths := [4]int{w, 2 * w, 4 * w, 8 * w}
+
+	stem := NewBlock("resnet18/stem", 0, VariantBase,
+		NewConvLayer("stem.conv", tensor.Conv2DParams{
+			InChannels: cfg.InChannels, OutChannels: w, Kernel: 3, Stride: 1, Padding: 1,
+		}, false, rng),
+		NewBatchNormLayer("stem.bn", w),
+		NewReLULayer("stem.relu"),
+		NewMaxPoolLayer("stem.pool", tensor.PoolParams{Kernel: 2, Stride: 2}),
+	)
+
+	blocks := []*Block{stem}
+	in := w
+	for stage := 0; stage < 4; stage++ {
+		out := widths[stage]
+		mid := prunedWidth(out, cfg.PruneRatios[stage])
+		stride := 1
+		if stage > 0 {
+			stride = 2
+		}
+		var layers []Layer
+		for unit := 0; unit < cfg.StageBlocks[stage]; unit++ {
+			s := 1
+			if unit == 0 {
+				s = stride
+			}
+			name := fmt.Sprintf("stage%d.unit%d", stage+1, unit+1)
+			layers = append(layers, NewBasicBlock(name, in, mid, out, s, rng))
+			in = out
+		}
+		variant := VariantBase
+		if cfg.PruneRatios[stage] > 0 {
+			variant = VariantPruned
+		}
+		blk := NewBlock(fmt.Sprintf("resnet18/stage%d", stage+1), stage+1, variant, layers...)
+		blk.PruneRatio = cfg.PruneRatios[stage]
+		blocks = append(blocks, blk)
+	}
+
+	classifier := NewBlock("resnet18/classifier", 5, VariantBase,
+		NewGlobalAvgPoolLayer("head.gap"),
+		NewLinearLayer("head.fc", widths[3], cfg.NumClasses, rng),
+	)
+	blocks = append(blocks, classifier)
+
+	return &Model{Arch: "resnet18", Blocks: blocks}
+}

@@ -1,0 +1,331 @@
+package dnn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"offloadnn/internal/tensor"
+)
+
+// Serialization implements the paper's "DNN repository" (Fig. 4): trained
+// block weights are stored at the edge and activated on demand when the
+// controller deploys a configuration. Models round-trip through a
+// gob-encoded DTO; shared blocks are stored once and re-aliased on load.
+
+// fileModel is the on-disk representation of a Model. Aliased blocks are
+// stored once; BlockIDs records the model's block sequence by ID.
+type fileModel struct {
+	Arch     string
+	BlockIDs []string
+	Blocks   map[string]fileBlock
+}
+
+type fileBlock struct {
+	ID         string
+	Stage      int
+	Variant    int
+	PruneRatio float64
+	Frozen     bool
+	Layers     []fileLayer
+}
+
+type fileLayer struct {
+	Kind string // conv | bn | relu | maxpool | gap | linear | basic
+	Name string
+
+	// conv
+	Conv *fileConv
+	// bn
+	BN *fileBN
+	// maxpool
+	Pool *filePool
+	// linear
+	Linear *fileLinear
+	// basic residual unit
+	Basic *fileBasic
+}
+
+type fileConv struct {
+	In, Out, Kernel, Stride, Padding int
+	W                                []float64
+	B                                []float64 // nil = no bias
+}
+
+type fileBN struct {
+	Channels               int
+	Gamma, Beta, Mean, Var []float64
+	MomentumMilli, EpsNano int64 // fixed-point to avoid float drift concerns in metadata
+}
+
+type filePool struct {
+	Kernel, Stride, Padding int
+}
+
+type fileLinear struct {
+	In, Out int
+	W, B    []float64
+}
+
+type fileBasic struct {
+	Conv1, Conv2, Down *fileConv
+	BN1, BN2, DownBN   *fileBN
+}
+
+// Save writes the model (weights, statistics, structure) to w.
+func Save(w io.Writer, m *Model) error {
+	fm := fileModel{Arch: m.Arch, Blocks: make(map[string]fileBlock, len(m.Blocks))}
+	for _, b := range m.Blocks {
+		fm.BlockIDs = append(fm.BlockIDs, b.ID)
+		if _, ok := fm.Blocks[b.ID]; ok {
+			continue // aliased block already captured
+		}
+		fb, err := encodeBlock(b)
+		if err != nil {
+			return fmt.Errorf("dnn: save block %s: %w", b.ID, err)
+		}
+		fm.Blocks[b.ID] = fb
+	}
+	if err := gob.NewEncoder(w).Encode(fm); err != nil {
+		return fmt.Errorf("dnn: save model %s: %w", m.Arch, err)
+	}
+	return nil
+}
+
+// Load reconstructs a model written by Save. Blocks that appeared aliased
+// in the original model are aliased again in the result.
+func Load(r io.Reader) (*Model, error) {
+	var fm fileModel
+	if err := gob.NewDecoder(r).Decode(&fm); err != nil {
+		return nil, fmt.Errorf("dnn: load model: %w", err)
+	}
+	cache := make(map[string]*Block, len(fm.Blocks))
+	m := &Model{Arch: fm.Arch}
+	for _, id := range fm.BlockIDs {
+		if b, ok := cache[id]; ok {
+			m.Blocks = append(m.Blocks, b)
+			continue
+		}
+		fb, ok := fm.Blocks[id]
+		if !ok {
+			return nil, fmt.Errorf("dnn: load model: block %q missing from file", id)
+		}
+		b, err := decodeBlock(fb)
+		if err != nil {
+			return nil, fmt.Errorf("dnn: load block %s: %w", id, err)
+		}
+		cache[id] = b
+		m.Blocks = append(m.Blocks, b)
+	}
+	return m, nil
+}
+
+func encodeBlock(b *Block) (fileBlock, error) {
+	fb := fileBlock{
+		ID:         b.ID,
+		Stage:      b.Stage,
+		Variant:    int(b.Variant),
+		PruneRatio: b.PruneRatio,
+		Frozen:     b.Frozen,
+	}
+	for _, l := range b.layers {
+		fl, err := encodeLayer(l)
+		if err != nil {
+			return fileBlock{}, err
+		}
+		fb.Layers = append(fb.Layers, fl)
+	}
+	return fb, nil
+}
+
+func decodeBlock(fb fileBlock) (*Block, error) {
+	layers := make([]Layer, 0, len(fb.Layers))
+	for _, fl := range fb.Layers {
+		l, err := decodeLayer(fl)
+		if err != nil {
+			return nil, err
+		}
+		layers = append(layers, l)
+	}
+	b := NewBlock(fb.ID, fb.Stage, Variant(fb.Variant), layers...)
+	b.PruneRatio = fb.PruneRatio
+	b.Frozen = fb.Frozen
+	return b, nil
+}
+
+func encodeConv(c *ConvLayer) *fileConv {
+	fc := &fileConv{
+		In: c.P.InChannels, Out: c.P.OutChannels,
+		Kernel: c.P.Kernel, Stride: c.P.Stride, Padding: c.P.Padding,
+		W: append([]float64(nil), c.W.Data()...),
+	}
+	if c.B != nil {
+		fc.B = append([]float64(nil), c.B.Data()...)
+	}
+	return fc
+}
+
+func decodeConv(name string, fc *fileConv) (*ConvLayer, error) {
+	if fc == nil {
+		return nil, fmt.Errorf("missing conv payload for %s", name)
+	}
+	p := tensor.Conv2DParams{
+		InChannels: fc.In, OutChannels: fc.Out,
+		Kernel: fc.Kernel, Stride: fc.Stride, Padding: fc.Padding,
+	}
+	l := &ConvLayer{name: name, P: p}
+	w, err := tensor.FromSlice(append([]float64(nil), fc.W...), fc.Out, fc.In, fc.Kernel, fc.Kernel)
+	if err != nil {
+		return nil, fmt.Errorf("conv %s weights: %w", name, err)
+	}
+	l.W = w
+	l.dW = tensor.New(fc.Out, fc.In, fc.Kernel, fc.Kernel)
+	if fc.B != nil {
+		bt, err := tensor.FromSlice(append([]float64(nil), fc.B...), fc.Out)
+		if err != nil {
+			return nil, fmt.Errorf("conv %s bias: %w", name, err)
+		}
+		l.B = bt
+		l.dB = tensor.New(fc.Out)
+	}
+	return l, nil
+}
+
+func encodeBN(b *BatchNormLayer) *fileBN {
+	s := b.State
+	return &fileBN{
+		Channels:      s.Channels(),
+		Gamma:         append([]float64(nil), s.Gamma.Data()...),
+		Beta:          append([]float64(nil), s.Beta.Data()...),
+		Mean:          append([]float64(nil), s.RunningMean.Data()...),
+		Var:           append([]float64(nil), s.RunningVar.Data()...),
+		MomentumMilli: int64(s.Momentum * 1000),
+		EpsNano:       int64(s.Eps * 1e9),
+	}
+}
+
+func decodeBN(name string, fb *fileBN) (*BatchNormLayer, error) {
+	if fb == nil {
+		return nil, fmt.Errorf("missing batchnorm payload for %s", name)
+	}
+	l := NewBatchNormLayer(name, fb.Channels)
+	copy(l.State.Gamma.Data(), fb.Gamma)
+	copy(l.State.Beta.Data(), fb.Beta)
+	copy(l.State.RunningMean.Data(), fb.Mean)
+	copy(l.State.RunningVar.Data(), fb.Var)
+	l.State.Momentum = float64(fb.MomentumMilli) / 1000
+	l.State.Eps = float64(fb.EpsNano) / 1e9
+	return l, nil
+}
+
+func encodeLayer(l Layer) (fileLayer, error) {
+	switch v := l.(type) {
+	case *ConvLayer:
+		return fileLayer{Kind: "conv", Name: v.name, Conv: encodeConv(v)}, nil
+	case *BatchNormLayer:
+		return fileLayer{Kind: "bn", Name: v.name, BN: encodeBN(v)}, nil
+	case *ReLULayer:
+		return fileLayer{Kind: "relu", Name: v.name}, nil
+	case *MaxPoolLayer:
+		return fileLayer{Kind: "maxpool", Name: v.name,
+			Pool: &filePool{Kernel: v.P.Kernel, Stride: v.P.Stride, Padding: v.P.Padding}}, nil
+	case *GlobalAvgPoolLayer:
+		return fileLayer{Kind: "gap", Name: v.name}, nil
+	case *LinearLayer:
+		return fileLayer{Kind: "linear", Name: v.name, Linear: &fileLinear{
+			In: v.W.Dim(1), Out: v.W.Dim(0),
+			W: append([]float64(nil), v.W.Data()...),
+			B: append([]float64(nil), v.B.Data()...),
+		}}, nil
+	case *BasicBlock:
+		fb := &fileBasic{
+			Conv1: encodeConv(v.Conv1), Conv2: encodeConv(v.Conv2),
+			BN1: encodeBN(v.BN1), BN2: encodeBN(v.BN2),
+		}
+		if v.DownConv != nil {
+			fb.Down = encodeConv(v.DownConv)
+			fb.DownBN = encodeBN(v.DownBN)
+		}
+		return fileLayer{Kind: "basic", Name: v.name, Basic: fb}, nil
+	default:
+		return fileLayer{}, fmt.Errorf("unsupported layer type %T", l)
+	}
+}
+
+func decodeLayer(fl fileLayer) (Layer, error) {
+	switch fl.Kind {
+	case "conv":
+		return decodeConv(fl.Name, fl.Conv)
+	case "bn":
+		return decodeBN(fl.Name, fl.BN)
+	case "relu":
+		return NewReLULayer(fl.Name), nil
+	case "maxpool":
+		if fl.Pool == nil {
+			return nil, fmt.Errorf("missing pool payload for %s", fl.Name)
+		}
+		return NewMaxPoolLayer(fl.Name, tensor.PoolParams{
+			Kernel: fl.Pool.Kernel, Stride: fl.Pool.Stride, Padding: fl.Pool.Padding,
+		}), nil
+	case "gap":
+		return NewGlobalAvgPoolLayer(fl.Name), nil
+	case "linear":
+		if fl.Linear == nil {
+			return nil, fmt.Errorf("missing linear payload for %s", fl.Name)
+		}
+		w, err := tensor.FromSlice(append([]float64(nil), fl.Linear.W...), fl.Linear.Out, fl.Linear.In)
+		if err != nil {
+			return nil, fmt.Errorf("linear %s weights: %w", fl.Name, err)
+		}
+		bt, err := tensor.FromSlice(append([]float64(nil), fl.Linear.B...), fl.Linear.Out)
+		if err != nil {
+			return nil, fmt.Errorf("linear %s bias: %w", fl.Name, err)
+		}
+		l := &LinearLayer{
+			name: fl.Name, W: w, B: bt,
+			dW: tensor.New(fl.Linear.Out, fl.Linear.In),
+			dB: tensor.New(fl.Linear.Out),
+		}
+		return l, nil
+	case "basic":
+		if fl.Basic == nil {
+			return nil, fmt.Errorf("missing basic-block payload for %s", fl.Name)
+		}
+		conv1, err := decodeConv(fl.Name+".conv1", fl.Basic.Conv1)
+		if err != nil {
+			return nil, err
+		}
+		conv2, err := decodeConv(fl.Name+".conv2", fl.Basic.Conv2)
+		if err != nil {
+			return nil, err
+		}
+		bn1, err := decodeBN(fl.Name+".bn1", fl.Basic.BN1)
+		if err != nil {
+			return nil, err
+		}
+		bn2, err := decodeBN(fl.Name+".bn2", fl.Basic.BN2)
+		if err != nil {
+			return nil, err
+		}
+		b := &BasicBlock{
+			name:  fl.Name,
+			Conv1: conv1, BN1: bn1, Relu1: NewReLULayer(fl.Name + ".relu1"),
+			Conv2: conv2, BN2: bn2,
+		}
+		if fl.Basic.Down != nil {
+			down, err := decodeConv(fl.Name+".down", fl.Basic.Down)
+			if err != nil {
+				return nil, err
+			}
+			downBN, err := decodeBN(fl.Name+".downbn", fl.Basic.DownBN)
+			if err != nil {
+				return nil, err
+			}
+			b.DownConv = down
+			b.DownBN = downBN
+		}
+		return b, nil
+	default:
+		return nil, fmt.Errorf("unknown layer kind %q", fl.Kind)
+	}
+}

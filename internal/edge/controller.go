@@ -1,0 +1,96 @@
+// Package edge is the Colosseum-substitute emulation environment: an
+// OffloaDNN controller implementing the Fig. 4 workflow (task admission →
+// DOT solving → slice and compute allocation → DNN-block deployment →
+// rate notification) and a discrete-event emulator that drives UE traffic
+// through radio slices and the edge compute queue to measure end-to-end
+// task latency over time (Fig. 11).
+package edge
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"offloadnn/internal/core"
+	"offloadnn/internal/radio"
+)
+
+// ErrDeploy reports a deployment failure.
+var ErrDeploy = errors.New("edge: deployment failed")
+
+// Deployment is the outcome of one admission round: the DOT solution plus
+// the configured radio slices and deployed DNN blocks.
+type Deployment struct {
+	// Solution is the solver output the controller acted on.
+	Solution *core.Solution
+	// Slices is the vRAN slice allocation, one slice per admitted task.
+	Slices *radio.SliceAllocator
+	// ActiveBlocks are the deployed DNN blocks, sorted by ID.
+	ActiveBlocks []string
+	// MemoryUsedGB is the VRAM consumed by the deployed blocks.
+	MemoryUsedGB float64
+	// AdmittedRates maps task ID to its notified admission rate z·λ.
+	AdmittedRates map[string]float64
+}
+
+// Controller is the OffloaDNN controller of Fig. 4. It owns the resource
+// pools and runs the DOT solver on admission requests.
+type Controller struct {
+	res core.Resources
+	// Solve is the solver strategy; defaults to OffloaDNN. Swappable for
+	// the optimum in small-scale validation.
+	Solve func(*core.Instance) (*core.Solution, error)
+}
+
+// NewController constructs a controller over the given resource pools.
+func NewController(res core.Resources) *Controller {
+	return &Controller{
+		res:   res,
+		Solve: core.SolveOffloaDNN,
+	}
+}
+
+// Admit runs one admission round (steps 1–6 of the Fig. 4 workflow): it
+// assembles the DOT instance from the requests and block catalog, solves
+// it, allocates the radio slices, deploys the selected blocks and returns
+// the admitted rates for notification to the UEs.
+func (c *Controller) Admit(tasks []core.Task, blocks map[string]core.BlockSpec, alpha float64) (*Deployment, error) {
+	in := &core.Instance{Tasks: tasks, Blocks: blocks, Res: c.res, Alpha: alpha}
+	sol, err := c.Solve(in)
+	if err != nil {
+		return nil, fmt.Errorf("%w: solver: %v", ErrDeploy, err)
+	}
+	if err := in.Check(sol.Assignments); err != nil {
+		return nil, fmt.Errorf("%w: solution check: %v", ErrDeploy, err)
+	}
+
+	slices := radio.NewSliceAllocator(c.res.RBs)
+	rates := make(map[string]float64)
+	active := make(map[string]bool)
+	for i, a := range sol.Assignments {
+		if !a.Admitted() {
+			continue
+		}
+		if err := slices.AllocateShared(a.TaskID, a.RBs, a.Z); err != nil {
+			return nil, fmt.Errorf("%w: slice for %s: %v", ErrDeploy, a.TaskID, err)
+		}
+		rates[a.TaskID] = a.Z * tasks[i].Rate
+		for _, b := range a.Path.Blocks {
+			active[b] = true
+		}
+	}
+	ids := make([]string, 0, len(active))
+	mem := 0.0
+	for id := range active {
+		ids = append(ids, id)
+		mem += in.BlockMemoryGB(id)
+	}
+	sort.Strings(ids)
+	return &Deployment{
+		Solution:      sol,
+		Slices:        slices,
+		ActiveBlocks:  ids,
+		MemoryUsedGB:  mem,
+		AdmittedRates: rates,
+	}, nil
+}

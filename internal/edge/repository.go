@@ -1,0 +1,164 @@
+package edge
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"offloadnn/internal/dnn"
+)
+
+// ErrNotFound reports a model absent from the repository.
+var ErrNotFound = errors.New("edge: model not found")
+
+// Repository is the edge's DNN repository (Fig. 4): trained models —
+// compositions of shareable blocks — stored by name, optionally persisted
+// to a directory, and loaded when the controller activates the blocks of
+// an admitted configuration. It is safe for concurrent use.
+type Repository struct {
+	dir string
+
+	mu     sync.RWMutex
+	models map[string]*dnn.Model
+}
+
+// NewRepository creates a repository. dir may be empty for a memory-only
+// store; otherwise persisted models live under dir as <name>.dnn files.
+func NewRepository(dir string) *Repository {
+	return &Repository{dir: dir, models: make(map[string]*dnn.Model)}
+}
+
+// validName rejects names that would escape the repository directory.
+func validName(name string) error {
+	if name == "" {
+		return fmt.Errorf("edge: empty model name")
+	}
+	if strings.ContainsAny(name, "/\\") || name == "." || name == ".." {
+		return fmt.Errorf("edge: invalid model name %q", name)
+	}
+	return nil
+}
+
+func (r *Repository) path(name string) string {
+	return filepath.Join(r.dir, name+".dnn")
+}
+
+// Store registers a model under the name, persisting it when the
+// repository is directory-backed. An existing model of the same name is
+// replaced.
+func (r *Repository) Store(name string, m *dnn.Model) error {
+	if err := validName(name); err != nil {
+		return err
+	}
+	if m == nil {
+		return fmt.Errorf("edge: nil model for %q", name)
+	}
+	if r.dir != "" {
+		f, err := os.CreateTemp(r.dir, name+".tmp*")
+		if err != nil {
+			return fmt.Errorf("edge: store %q: %w", name, err)
+		}
+		tmp := f.Name()
+		if err := dnn.Save(f, m); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("edge: store %q: %w", name, err)
+		}
+		if err := f.Close(); err != nil {
+			os.Remove(tmp)
+			return fmt.Errorf("edge: store %q: %w", name, err)
+		}
+		if err := os.Rename(tmp, r.path(name)); err != nil {
+			os.Remove(tmp)
+			return fmt.Errorf("edge: store %q: %w", name, err)
+		}
+	}
+	r.mu.Lock()
+	r.models[name] = m
+	r.mu.Unlock()
+	return nil
+}
+
+// Load fetches a model by name: from memory when cached, else from the
+// backing directory.
+func (r *Repository) Load(name string) (*dnn.Model, error) {
+	if err := validName(name); err != nil {
+		return nil, err
+	}
+	r.mu.RLock()
+	m, ok := r.models[name]
+	r.mu.RUnlock()
+	if ok {
+		return m, nil
+	}
+	if r.dir == "" {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	f, err := os.Open(r.path(name))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+		}
+		return nil, fmt.Errorf("edge: load %q: %w", name, err)
+	}
+	defer f.Close()
+	m, err = dnn.Load(f)
+	if err != nil {
+		return nil, fmt.Errorf("edge: load %q: %w", name, err)
+	}
+	r.mu.Lock()
+	r.models[name] = m
+	r.mu.Unlock()
+	return m, nil
+}
+
+// Delete removes a model from memory and disk. Deleting an absent model
+// is a no-op.
+func (r *Repository) Delete(name string) error {
+	if err := validName(name); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	delete(r.models, name)
+	r.mu.Unlock()
+	if r.dir != "" {
+		if err := os.Remove(r.path(name)); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("edge: delete %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// List returns the sorted names available (memory plus directory).
+func (r *Repository) List() ([]string, error) {
+	seen := make(map[string]bool)
+	r.mu.RLock()
+	for name := range r.models {
+		seen[name] = true
+	}
+	r.mu.RUnlock()
+	if r.dir != "" {
+		entries, err := os.ReadDir(r.dir)
+		if err != nil {
+			return nil, fmt.Errorf("edge: list: %w", err)
+		}
+		for _, e := range entries {
+			if e.IsDir() {
+				continue
+			}
+			if n, ok := strings.CutSuffix(e.Name(), ".dnn"); ok {
+				seen[n] = true
+			}
+		}
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}

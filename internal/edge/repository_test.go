@@ -1,0 +1,131 @@
+package edge
+
+import (
+	"errors"
+	"testing"
+
+	"offloadnn/internal/dnn"
+	"offloadnn/internal/tensor"
+)
+
+func testModel(seed int64) *dnn.Model {
+	return dnn.BuildResNet18(dnn.ResNetConfig{
+		InChannels: 3, NumClasses: 4, BaseWidth: 4,
+		StageBlocks: [4]int{1, 1, 1, 1}, Seed: seed,
+	})
+}
+
+func TestRepositoryMemoryOnly(t *testing.T) {
+	r := NewRepository("")
+	m := testModel(1)
+	if err := r.Store("resnet", m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Load("resnet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != m {
+		t.Fatal("memory repository should return the stored instance")
+	}
+	if _, err := r.Load("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing model err = %v, want ErrNotFound", err)
+	}
+	names, err := r.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "resnet" {
+		t.Fatalf("List = %v", names)
+	}
+}
+
+func TestRepositoryPersistsToDisk(t *testing.T) {
+	dir := t.TempDir()
+	r := NewRepository(dir)
+	m := testModel(2)
+	if err := r.Store("traffic-v1", m); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh repository over the same directory sees and reloads it.
+	r2 := NewRepository(dir)
+	names, err := r2.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "traffic-v1" {
+		t.Fatalf("List = %v", names)
+	}
+	loaded, err := r2.Load("traffic-v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Loaded weights behave identically.
+	x := tensor.New(1, 3, 8, 8)
+	x.Fill(0.3)
+	y1, err := m.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y2, err := loaded.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range y1.Data() {
+		if y1.Data()[i] != y2.Data()[i] {
+			t.Fatal("persisted model behaves differently")
+		}
+	}
+}
+
+func TestRepositoryDelete(t *testing.T) {
+	dir := t.TempDir()
+	r := NewRepository(dir)
+	if err := r.Store("m", testModel(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Delete("m"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Load("m"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted model err = %v, want ErrNotFound", err)
+	}
+	// Idempotent.
+	if err := r.Delete("m"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRepositoryRejectsBadNames(t *testing.T) {
+	r := NewRepository(t.TempDir())
+	for _, name := range []string{"", "../escape", "a/b", "."} {
+		if err := r.Store(name, testModel(4)); err == nil {
+			t.Fatalf("name %q should be rejected", name)
+		}
+		if _, err := r.Load(name); err == nil {
+			t.Fatalf("load of %q should be rejected", name)
+		}
+	}
+	if err := r.Store("nilmodel", nil); err == nil {
+		t.Fatal("nil model should be rejected")
+	}
+}
+
+func TestRepositoryReplace(t *testing.T) {
+	r := NewRepository(t.TempDir())
+	m1, m2 := testModel(5), testModel(6)
+	if err := r.Store("m", m1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Store("m", m2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Load("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != m2 {
+		t.Fatal("replacement did not take effect")
+	}
+}

@@ -1,0 +1,97 @@
+// Package metrics provides the small statistics helpers used by the
+// experiment harness: summaries, percentiles and moving averages.
+package metrics
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty reports a statistic requested over no data.
+var ErrEmpty = errors.New("metrics: empty data")
+
+// Summary holds basic descriptive statistics.
+type Summary struct {
+	Count  int
+	Mean   float64
+	Min    float64
+	Max    float64
+	StdDev float64
+}
+
+// Summarize computes a Summary over xs.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	s := Summary{Count: len(xs), Min: xs[0], Max: xs[0]}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		sq := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			sq += d * d
+		}
+		s.StdDev = math.Sqrt(sq / float64(len(xs)-1))
+	}
+	return s, nil
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using
+// nearest-rank interpolation.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 || p > 100 {
+		return 0, errors.New("metrics: percentile out of [0,100]")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p == 0 {
+		return sorted[0], nil
+	}
+	rank := p / 100 * float64(len(sorted))
+	idx := int(math.Ceil(rank)) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx], nil
+}
+
+// MovingAverage returns the k-sample trailing moving average of xs (the
+// smoothing Fig. 11 applies with window 3). The output has the same
+// length; the first k−1 entries average the available prefix.
+func MovingAverage(xs []float64, k int) []float64 {
+	if k < 1 {
+		k = 1
+	}
+	out := make([]float64, len(xs))
+	sum := 0.0
+	for i, x := range xs {
+		sum += x
+		if i >= k {
+			sum -= xs[i-k]
+		}
+		n := k
+		if i+1 < k {
+			n = i + 1
+		}
+		out[i] = sum / float64(n)
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+// Package profile derives the per-block cost tables the DOT problem
+// consumes — inference compute time c(s^d) and memory µ(s^d) — by timing
+// real forward passes over dummy input tensors, the "standard procedure to
+// estimate DNN model inference compute time in a system" used by the
+// paper's second motivation experiment (Fig. 3 left).
+package profile
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"offloadnn/internal/dnn"
+	"offloadnn/internal/tensor"
+)
+
+// ErrProfile reports a profiling failure.
+var ErrProfile = errors.New("profile: profiling failed")
+
+// BlockCost is the experimentally characterized cost of one layer-block.
+type BlockCost struct {
+	// ID of the block (matches dnn.Block.ID).
+	ID string
+	// Stage of the block within its architecture.
+	Stage int
+	// ComputeTime is the per-inference (batch-1) forward time.
+	ComputeTime time.Duration
+	// MemoryBytes is the deployed footprint of the block.
+	MemoryBytes int64
+	// Params is the scalar parameter count.
+	Params int
+}
+
+// Profiler times blocks over dummy inputs.
+type Profiler struct {
+	// ImageSize is the square input side fed to the model.
+	ImageSize int
+	// Repeats is the number of timed forward passes per block; the median
+	// is reported. Must be ≥ 1.
+	Repeats int
+	// Warmup passes run before timing starts.
+	Warmup int
+}
+
+// DefaultProfiler returns a configuration suitable for tests and the
+// experiment harness.
+func DefaultProfiler() Profiler {
+	return Profiler{ImageSize: 16, Repeats: 5, Warmup: 1}
+}
+
+// ProfileModel runs a dummy tensor through the model block by block,
+// timing each block's forward pass. The dummy input is all-ones, matching
+// common practice (values do not affect dense-conv timing).
+func (p Profiler) ProfileModel(m *dnn.Model) ([]BlockCost, error) {
+	if p.Repeats < 1 {
+		return nil, fmt.Errorf("%w: repeats %d < 1", ErrProfile, p.Repeats)
+	}
+	x := tensor.New(1, 3, p.ImageSize, p.ImageSize)
+	x.Fill(1)
+
+	costs := make([]BlockCost, 0, len(m.Blocks))
+	for _, b := range m.Blocks {
+		for i := 0; i < p.Warmup; i++ {
+			if _, err := b.Forward(x, false); err != nil {
+				return nil, fmt.Errorf("%w: block %s warmup: %v", ErrProfile, b.ID, err)
+			}
+		}
+		samples := make([]time.Duration, p.Repeats)
+		var out *tensor.Tensor
+		for i := 0; i < p.Repeats; i++ {
+			start := time.Now()
+			y, err := b.Forward(x, false)
+			if err != nil {
+				return nil, fmt.Errorf("%w: block %s: %v", ErrProfile, b.ID, err)
+			}
+			samples[i] = time.Since(start)
+			out = y
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		costs = append(costs, BlockCost{
+			ID:          b.ID,
+			Stage:       b.Stage,
+			ComputeTime: samples[len(samples)/2],
+			MemoryBytes: b.MemoryBytes(),
+			Params:      b.ParamCount(),
+		})
+		x = out
+	}
+	return costs, nil
+}
+
+// TotalCompute sums the per-block compute times.
+func TotalCompute(costs []BlockCost) time.Duration {
+	var t time.Duration
+	for _, c := range costs {
+		t += c.ComputeTime
+	}
+	return t
+}
+
+// TotalMemory sums the per-block memory footprints.
+func TotalMemory(costs []BlockCost) int64 {
+	var m int64
+	for _, c := range costs {
+		m += c.MemoryBytes
+	}
+	return m
+}
+
+// Scale multiplies all compute times by factor, used to calibrate
+// test-scale measurements to paper-scale magnitudes (e.g., so the full
+// unpruned path lands at the paper's ~8–9 ms GPU inference time).
+func Scale(costs []BlockCost, factor float64) []BlockCost {
+	out := make([]BlockCost, len(costs))
+	copy(out, costs)
+	for i := range out {
+		out[i].ComputeTime = time.Duration(float64(out[i].ComputeTime) * factor)
+	}
+	return out
+}
+
+// CalibrationFactor returns the factor that maps the measured total model
+// compute time onto the target (paper) total.
+func CalibrationFactor(costs []BlockCost, target time.Duration) (float64, error) {
+	total := TotalCompute(costs)
+	if total <= 0 {
+		return 0, fmt.Errorf("%w: non-positive measured total %v", ErrProfile, total)
+	}
+	return float64(target) / float64(total), nil
+}

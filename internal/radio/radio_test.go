@@ -1,0 +1,218 @@
+package radio
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPaperRateMatchesTableIV(t *testing.T) {
+	b := PaperRate().BitsPerRBPerSecond(0)
+	if b != 0.35e6 {
+		t.Fatalf("B = %v, want 0.35 Mb/s", b)
+	}
+	// SNR-independent.
+	if PaperRate().BitsPerRBPerSecond(30) != b {
+		t.Fatal("fixed rate should ignore SNR")
+	}
+}
+
+func TestPaperScenarioOneRBOneImagePerSecond(t *testing.T) {
+	// β = 350 Kb, B = 0.35 Mb/s → one RB transmits one image per second.
+	d, err := TransmissionTime(350e3, 1, PaperRate(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.Seconds()-1.0) > 1e-9 {
+		t.Fatalf("tx time %v, want 1 s", d)
+	}
+	// Five RBs → 200 ms.
+	d5, err := TransmissionTime(350e3, 5, PaperRate(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d5.Seconds()-0.2) > 1e-9 {
+		t.Fatalf("tx time %v, want 200 ms", d5)
+	}
+}
+
+func TestCQITableMonotone(t *testing.T) {
+	c := NewCQITable()
+	prev := -1.0
+	for snr := -10.0; snr <= 30; snr += 0.5 {
+		b := c.BitsPerRBPerSecond(snr)
+		if b < prev {
+			t.Fatalf("capacity decreased at %v dB: %v < %v", snr, b, prev)
+		}
+		prev = b
+	}
+	if c.CQI(-20) != 0 {
+		t.Fatalf("CQI(-20dB) = %d, want 0", c.CQI(-20))
+	}
+	if c.CQI(25) != 15 {
+		t.Fatalf("CQI(25dB) = %d, want 15", c.CQI(25))
+	}
+	if c.SpectralEfficiency(-20) != 0 {
+		t.Fatal("efficiency below sensitivity should be 0")
+	}
+}
+
+func TestTransmissionTimeErrors(t *testing.T) {
+	if _, err := TransmissionTime(100, 0, PaperRate(), 0); err == nil {
+		t.Fatal("zero RBs should error")
+	}
+	if _, err := TransmissionTime(-1, 1, PaperRate(), 0); err == nil {
+		t.Fatal("negative bits should error")
+	}
+	if _, err := TransmissionTime(100, 1, NewCQITable(), -30); err == nil {
+		t.Fatal("zero capacity should error")
+	}
+}
+
+func TestMinRBsForThroughput(t *testing.T) {
+	// 5 req/s × 350 Kb = 1.75 Mb/s over 0.35 Mb/s per RB → 5 RBs.
+	r, err := MinRBsForThroughput(5, 350e3, PaperRate(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 5 {
+		t.Fatalf("r = %d, want 5", r)
+	}
+	// Fractional admission: 2.5 req/s → 2.5 RBs → 3.
+	r2, err := MinRBsForThroughput(2.5, 350e3, PaperRate(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2 != 3 {
+		t.Fatalf("r = %d, want 3", r2)
+	}
+	// Zero admitted rate needs zero RBs.
+	r0, err := MinRBsForThroughput(0, 350e3, PaperRate(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r0 != 0 {
+		t.Fatalf("r = %d, want 0", r0)
+	}
+}
+
+func TestMinRBsForLatency(t *testing.T) {
+	// β/(B·r) ≤ 200 ms with β=350Kb, B=0.35Mb/s → r ≥ 5.
+	r, err := MinRBsForLatency(350e3, 200*time.Millisecond, PaperRate(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 5 {
+		t.Fatalf("r = %d, want 5", r)
+	}
+	if _, err := MinRBsForLatency(350e3, 0, PaperRate(), 0); err == nil {
+		t.Fatal("zero budget should error")
+	}
+}
+
+// Property: the minimal RB counts actually satisfy their constraints, and
+// one fewer RB violates them.
+func TestQuickMinRBsTight(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rate := rng.Float64()*9 + 0.5 // req/s
+		bits := rng.Float64()*5e5 + 1e4
+		r, err := MinRBsForThroughput(rate, bits, PaperRate(), 0)
+		if err != nil {
+			return false
+		}
+		b := PaperRate().Rate
+		if rate*bits > b*float64(r)+1e-6 {
+			return false // constraint violated
+		}
+		if r > 0 && rate*bits <= b*float64(r-1)-1e-6 {
+			return false // not minimal
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSliceAllocator(t *testing.T) {
+	a := NewSliceAllocator(10)
+	if err := a.Allocate("t1", 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Allocate("t2", 6); err != nil {
+		t.Fatal(err)
+	}
+	if a.Available() != 0 {
+		t.Fatalf("available = %d, want 0", a.Available())
+	}
+	if err := a.Allocate("t3", 1); !errors.Is(err, ErrCapacity) {
+		t.Fatalf("over-allocation err = %v, want ErrCapacity", err)
+	}
+	// Replacing an existing slice only charges the delta.
+	if err := a.Allocate("t1", 2); err != nil {
+		t.Fatal(err)
+	}
+	if a.Available() != 2 {
+		t.Fatalf("available = %d, want 2", a.Available())
+	}
+	a.Release("t2")
+	if a.Available() != 8 {
+		t.Fatalf("available = %d, want 8 after release", a.Available())
+	}
+	if a.Allocation("t2") != 0 {
+		t.Fatal("released slice still present")
+	}
+	if err := a.Allocate("t1", -1); err == nil {
+		t.Fatal("negative allocation should error")
+	}
+	// Zero allocation removes the slice.
+	if err := a.Allocate("t1", 0); err != nil {
+		t.Fatal(err)
+	}
+	if a.Used() != 0 {
+		t.Fatalf("used = %d, want 0", a.Used())
+	}
+}
+
+func TestSliceAllocatorTimeSharing(t *testing.T) {
+	// Two half-time slices of 8 RBs each charge 8 total against a 10-RB
+	// pool — the (1d) Σ z·r semantics.
+	a := NewSliceAllocator(10)
+	if err := a.AllocateShared("t1", 8, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AllocateShared("t2", 8, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if a.Used() != 8 {
+		t.Fatalf("Used = %d, want 8", a.Used())
+	}
+	if math.Abs(a.UsedFraction()-0.8) > 1e-12 {
+		t.Fatalf("UsedFraction = %v, want 0.8", a.UsedFraction())
+	}
+	if a.Share("t1") != 0.5 || a.Allocation("t1") != 8 {
+		t.Fatalf("grant = %d×%v", a.Allocation("t1"), a.Share("t1"))
+	}
+	// A third 8-RB half-time slice (4 effective) would exceed the pool.
+	if err := a.AllocateShared("t3", 8, 0.5); !errors.Is(err, ErrCapacity) {
+		t.Fatalf("over-allocation err = %v, want ErrCapacity", err)
+	}
+	// But a quarter-time one (2 effective) fits.
+	if err := a.AllocateShared("t3", 8, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AllocateShared("t4", 1, 1.5); err == nil {
+		t.Fatal("share > 1 should be rejected")
+	}
+	// Zero share removes the grant.
+	if err := a.AllocateShared("t3", 8, 0); err != nil {
+		t.Fatal(err)
+	}
+	if a.Allocation("t3") != 0 {
+		t.Fatal("zero-share grant not removed")
+	}
+}

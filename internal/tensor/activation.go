@@ -1,0 +1,148 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// ReLU returns max(0, x) element-wise along with the mask needed for the
+// backward pass.
+func ReLU(x *Tensor) (*Tensor, []bool) {
+	out := New(x.shape...)
+	mask := make([]bool, x.Len())
+	for i, v := range x.data {
+		if v > 0 {
+			out.data[i] = v
+			mask[i] = true
+		}
+	}
+	return out, mask
+}
+
+// ReLUInPlace applies max(0, x) in place and returns the pass-through mask.
+func ReLUInPlace(x *Tensor) []bool {
+	mask := make([]bool, x.Len())
+	for i, v := range x.data {
+		if v > 0 {
+			mask[i] = true
+		} else {
+			x.data[i] = 0
+		}
+	}
+	return mask
+}
+
+// ReLUBackward masks the upstream gradient with the forward activation mask.
+func ReLUBackward(dy *Tensor, mask []bool) (*Tensor, error) {
+	if dy.Len() != len(mask) {
+		return nil, fmt.Errorf("%w: relu backward dy has %d elems, mask %d", ErrShape, dy.Len(), len(mask))
+	}
+	dx := New(dy.shape...)
+	for i, g := range dy.data {
+		if mask[i] {
+			dx.data[i] = g
+		}
+	}
+	return dx, nil
+}
+
+// Softmax applies a numerically stable row-wise softmax to an (N, K) tensor.
+func Softmax(x *Tensor) (*Tensor, error) {
+	if x.Rank() != 2 {
+		return nil, fmt.Errorf("%w: softmax needs rank-2, got %v", ErrShape, x.shape)
+	}
+	n, k := x.shape[0], x.shape[1]
+	out := New(n, k)
+	for i := 0; i < n; i++ {
+		row := x.data[i*k : (i+1)*k]
+		o := out.data[i*k : (i+1)*k]
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		sum := 0.0
+		for j, v := range row {
+			e := math.Exp(v - maxv)
+			o[j] = e
+			sum += e
+		}
+		inv := 1.0 / sum
+		for j := range o {
+			o[j] *= inv
+		}
+	}
+	return out, nil
+}
+
+// CrossEntropyResult carries the scalar loss and the cached probabilities
+// for the backward pass.
+type CrossEntropyResult struct {
+	Loss  float64
+	Probs *Tensor
+	y     []int
+}
+
+// CrossEntropy computes the mean softmax cross-entropy loss of logits
+// (N, K) against integer labels y (len N).
+func CrossEntropy(logits *Tensor, y []int) (*CrossEntropyResult, error) {
+	if logits.Rank() != 2 {
+		return nil, fmt.Errorf("%w: cross-entropy logits must be rank-2, got %v", ErrShape, logits.shape)
+	}
+	n, k := logits.shape[0], logits.shape[1]
+	if len(y) != n {
+		return nil, fmt.Errorf("%w: cross-entropy has %d labels for batch %d", ErrShape, len(y), n)
+	}
+	probs, err := Softmax(logits)
+	if err != nil {
+		return nil, err
+	}
+	loss := 0.0
+	for i, label := range y {
+		if label < 0 || label >= k {
+			return nil, fmt.Errorf("%w: label %d out of range [0,%d)", ErrShape, label, k)
+		}
+		p := probs.data[i*k+label]
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		loss -= math.Log(p)
+	}
+	labels := make([]int, n)
+	copy(labels, y)
+	return &CrossEntropyResult{Loss: loss / float64(n), Probs: probs, y: labels}, nil
+}
+
+// Backward returns dLoss/dLogits, shape (N, K).
+func (r *CrossEntropyResult) Backward() *Tensor {
+	n, k := r.Probs.shape[0], r.Probs.shape[1]
+	dx := r.Probs.Clone()
+	inv := 1.0 / float64(n)
+	for i, label := range r.y {
+		dx.data[i*k+label] -= 1
+	}
+	dx.ScaleInPlace(inv)
+	return dx
+}
+
+// Argmax returns the index of the maximum value in each row of an (N, K)
+// tensor.
+func Argmax(x *Tensor) ([]int, error) {
+	if x.Rank() != 2 {
+		return nil, fmt.Errorf("%w: argmax needs rank-2, got %v", ErrShape, x.shape)
+	}
+	n, k := x.shape[0], x.shape[1]
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		row := x.data[i*k : (i+1)*k]
+		best := 0
+		for j, v := range row {
+			if v > row[best] {
+				best = j
+			}
+		}
+		out[i] = best
+	}
+	return out, nil
+}

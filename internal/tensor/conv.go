@@ -1,0 +1,237 @@
+package tensor
+
+import "fmt"
+
+// Conv2DParams describes a 2-D convolution: square kernel, symmetric stride
+// and padding. Input and output use the NCHW layout.
+type Conv2DParams struct {
+	InChannels  int
+	OutChannels int
+	Kernel      int
+	Stride      int
+	Padding     int
+}
+
+// OutSize returns the output spatial size for an input of size h×w.
+func (p Conv2DParams) OutSize(h, w int) (int, int) {
+	oh := (h+2*p.Padding-p.Kernel)/p.Stride + 1
+	ow := (w+2*p.Padding-p.Kernel)/p.Stride + 1
+	return oh, ow
+}
+
+// validate checks the parameter block for internal consistency.
+func (p Conv2DParams) validate() error {
+	switch {
+	case p.InChannels <= 0 || p.OutChannels <= 0:
+		return fmt.Errorf("%w: conv channels must be positive (%d in, %d out)", ErrShape, p.InChannels, p.OutChannels)
+	case p.Kernel <= 0:
+		return fmt.Errorf("%w: conv kernel must be positive, got %d", ErrShape, p.Kernel)
+	case p.Stride <= 0:
+		return fmt.Errorf("%w: conv stride must be positive, got %d", ErrShape, p.Stride)
+	case p.Padding < 0:
+		return fmt.Errorf("%w: conv padding must be non-negative, got %d", ErrShape, p.Padding)
+	}
+	return nil
+}
+
+// im2col unrolls input patches into a matrix of shape
+// (C*K*K) × (OH*OW) for a single image (C×H×W slice of the batch).
+func im2col(dst []float64, src []float64, c, h, w int, p Conv2DParams, oh, ow int) {
+	cols := oh * ow
+	for ch := 0; ch < c; ch++ {
+		srcCh := src[ch*h*w : (ch+1)*h*w]
+		for ky := 0; ky < p.Kernel; ky++ {
+			for kx := 0; kx < p.Kernel; kx++ {
+				row := dst[((ch*p.Kernel+ky)*p.Kernel+kx)*cols : ((ch*p.Kernel+ky)*p.Kernel+kx+1)*cols]
+				idx := 0
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*p.Stride + ky - p.Padding
+					if iy < 0 || iy >= h {
+						for ox := 0; ox < ow; ox++ {
+							row[idx] = 0
+							idx++
+						}
+						continue
+					}
+					base := iy * w
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*p.Stride + kx - p.Padding
+						if ix < 0 || ix >= w {
+							row[idx] = 0
+						} else {
+							row[idx] = srcCh[base+ix]
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+}
+
+// col2im scatters gradient columns back into an image gradient, accumulating
+// where patches overlap. It is the adjoint of im2col.
+func col2im(dst []float64, src []float64, c, h, w int, p Conv2DParams, oh, ow int) {
+	cols := oh * ow
+	for ch := 0; ch < c; ch++ {
+		dstCh := dst[ch*h*w : (ch+1)*h*w]
+		for ky := 0; ky < p.Kernel; ky++ {
+			for kx := 0; kx < p.Kernel; kx++ {
+				row := src[((ch*p.Kernel+ky)*p.Kernel+kx)*cols : ((ch*p.Kernel+ky)*p.Kernel+kx+1)*cols]
+				idx := 0
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*p.Stride + ky - p.Padding
+					if iy < 0 || iy >= h {
+						idx += ow
+						continue
+					}
+					base := iy * w
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*p.Stride + kx - p.Padding
+						if ix >= 0 && ix < w {
+							dstCh[base+ix] += row[idx]
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+}
+
+// Conv2D computes a batched 2-D convolution.
+//
+// Input x has shape (N, Cin, H, W); weight has shape (Cout, Cin, K, K);
+// bias (optional, may be nil) has shape (Cout). The result has shape
+// (N, Cout, OH, OW).
+func Conv2D(x, weight, bias *Tensor, p Conv2DParams) (*Tensor, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	if x.Rank() != 4 {
+		return nil, fmt.Errorf("%w: conv input must be rank-4 NCHW, got %v", ErrShape, x.shape)
+	}
+	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	if c != p.InChannels {
+		return nil, fmt.Errorf("%w: conv input has %d channels, params say %d", ErrShape, c, p.InChannels)
+	}
+	wantW := []int{p.OutChannels, p.InChannels, p.Kernel, p.Kernel}
+	if weight.Rank() != 4 || weight.shape[0] != wantW[0] || weight.shape[1] != wantW[1] ||
+		weight.shape[2] != wantW[2] || weight.shape[3] != wantW[3] {
+		return nil, fmt.Errorf("%w: conv weight shape %v, want %v", ErrShape, weight.shape, wantW)
+	}
+	if bias != nil && (bias.Rank() != 1 || bias.shape[0] != p.OutChannels) {
+		return nil, fmt.Errorf("%w: conv bias shape %v, want [%d]", ErrShape, bias.shape, p.OutChannels)
+	}
+	oh, ow := p.OutSize(h, w)
+	if oh <= 0 || ow <= 0 {
+		return nil, fmt.Errorf("%w: conv output size %dx%d for input %dx%d", ErrShape, oh, ow, h, w)
+	}
+
+	out := New(n, p.OutChannels, oh, ow)
+	patch := p.InChannels * p.Kernel * p.Kernel
+	cols := oh * ow
+	colBuf := make([]float64, patch*cols)
+	imgLen := c * h * w
+	outLen := p.OutChannels * cols
+
+	for b := 0; b < n; b++ {
+		im2col(colBuf, x.data[b*imgLen:(b+1)*imgLen], c, h, w, p, oh, ow)
+		// out[b] = weight (Cout×patch) · colBuf (patch×cols)
+		matmulInto(out.data[b*outLen:(b+1)*outLen], weight.data, colBuf, p.OutChannels, patch, cols)
+		if bias != nil {
+			for oc := 0; oc < p.OutChannels; oc++ {
+				bo := bias.data[oc]
+				row := out.data[b*outLen+oc*cols : b*outLen+(oc+1)*cols]
+				for i := range row {
+					row[i] += bo
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Conv2DGrads holds the gradients produced by Conv2DBackward.
+type Conv2DGrads struct {
+	DX *Tensor // gradient w.r.t. the input, same shape as x
+	DW *Tensor // gradient w.r.t. the weight
+	DB *Tensor // gradient w.r.t. the bias; nil when bias was nil
+}
+
+// Conv2DBackward computes gradients of a Conv2D call given the upstream
+// gradient dy (shape N×Cout×OH×OW), the original input x and weight.
+// Set hasBias to indicate whether a bias gradient is needed.
+func Conv2DBackward(dy, x, weight *Tensor, p Conv2DParams, hasBias bool) (*Conv2DGrads, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	oh, ow := p.OutSize(h, w)
+	wantDY := []int{n, p.OutChannels, oh, ow}
+	if dy.Rank() != 4 || dy.shape[0] != wantDY[0] || dy.shape[1] != wantDY[1] ||
+		dy.shape[2] != wantDY[2] || dy.shape[3] != wantDY[3] {
+		return nil, fmt.Errorf("%w: conv backward dy shape %v, want %v", ErrShape, dy.shape, wantDY)
+	}
+
+	patch := p.InChannels * p.Kernel * p.Kernel
+	cols := oh * ow
+	imgLen := c * h * w
+	outLen := p.OutChannels * cols
+
+	grads := &Conv2DGrads{
+		DX: New(x.shape...),
+		DW: New(weight.shape...),
+	}
+	if hasBias {
+		grads.DB = New(p.OutChannels)
+	}
+
+	colBuf := make([]float64, patch*cols)
+	dColBuf := make([]float64, patch*cols)
+	dwAccum := grads.DW.data
+
+	for b := 0; b < n; b++ {
+		dyb := dy.data[b*outLen : (b+1)*outLen]
+		// dW += dy[b] (Cout×cols) · colBufᵀ (cols×patch)
+		im2col(colBuf, x.data[b*imgLen:(b+1)*imgLen], c, h, w, p, oh, ow)
+		for oc := 0; oc < p.OutChannels; oc++ {
+			dyRow := dyb[oc*cols : (oc+1)*cols]
+			dwRow := dwAccum[oc*patch : (oc+1)*patch]
+			for pi := 0; pi < patch; pi++ {
+				colRow := colBuf[pi*cols : (pi+1)*cols]
+				s := 0.0
+				for i, g := range dyRow {
+					s += g * colRow[i]
+				}
+				dwRow[pi] += s
+			}
+			if hasBias {
+				s := 0.0
+				for _, g := range dyRow {
+					s += g
+				}
+				grads.DB.data[oc] += s
+			}
+		}
+		// dCol = weightᵀ (patch×Cout) · dy[b] (Cout×cols)
+		for i := range dColBuf {
+			dColBuf[i] = 0
+		}
+		for oc := 0; oc < p.OutChannels; oc++ {
+			wRow := weight.data[oc*patch : (oc+1)*patch]
+			dyRow := dyb[oc*cols : (oc+1)*cols]
+			for pi, wv := range wRow {
+				if wv == 0 {
+					continue
+				}
+				dRow := dColBuf[pi*cols : (pi+1)*cols]
+				for i, g := range dyRow {
+					dRow[i] += wv * g
+				}
+			}
+		}
+		col2im(grads.DX.data[b*imgLen:(b+1)*imgLen], dColBuf, c, h, w, p, oh, ow)
+	}
+	return grads, nil
+}

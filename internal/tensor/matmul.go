@@ -1,0 +1,109 @@
+package tensor
+
+import "fmt"
+
+// MatMul computes C = A·B for rank-2 tensors A (m×k) and B (k×n).
+func MatMul(a, b *Tensor) (*Tensor, error) {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		return nil, fmt.Errorf("%w: matmul needs rank-2 tensors, got %v and %v", ErrShape, a.shape, b.shape)
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		return nil, fmt.Errorf("%w: matmul inner dims %d != %d", ErrShape, k, k2)
+	}
+	out := New(m, n)
+	matmulInto(out.data, a.data, b.data, m, k, n)
+	return out, nil
+}
+
+// matmulInto computes dst = A·B with A m×k and B k×n, both row-major.
+// The i-k-j loop order keeps the inner loop streaming over contiguous rows
+// of B and dst, which matters for the profiler's timing fidelity.
+func matmulInto(dst, a, b []float64, m, k, n int) {
+	for i := 0; i < m; i++ {
+		di := dst[i*n : (i+1)*n]
+		for j := range di {
+			di[j] = 0
+		}
+		ai := a[i*k : (i+1)*k]
+		for kk := 0; kk < k; kk++ {
+			av := ai[kk]
+			if av == 0 {
+				continue
+			}
+			bk := b[kk*n : (kk+1)*n]
+			for j, bv := range bk {
+				di[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulTransA computes C = Aᵀ·B for A (k×m) and B (k×n), yielding m×n.
+func MatMulTransA(a, b *Tensor) (*Tensor, error) {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		return nil, fmt.Errorf("%w: matmulTransA needs rank-2 tensors, got %v and %v", ErrShape, a.shape, b.shape)
+	}
+	k, m := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		return nil, fmt.Errorf("%w: matmulTransA inner dims %d != %d", ErrShape, k, k2)
+	}
+	out := New(m, n)
+	for kk := 0; kk < k; kk++ {
+		ak := a.data[kk*m : (kk+1)*m]
+		bk := b.data[kk*n : (kk+1)*n]
+		for i, av := range ak {
+			if av == 0 {
+				continue
+			}
+			di := out.data[i*n : (i+1)*n]
+			for j, bv := range bk {
+				di[j] += av * bv
+			}
+		}
+	}
+	return out, nil
+}
+
+// MatMulTransB computes C = A·Bᵀ for A (m×k) and B (n×k), yielding m×n.
+func MatMulTransB(a, b *Tensor) (*Tensor, error) {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		return nil, fmt.Errorf("%w: matmulTransB needs rank-2 tensors, got %v and %v", ErrShape, a.shape, b.shape)
+	}
+	m, k := a.shape[0], a.shape[1]
+	n, k2 := b.shape[0], b.shape[1]
+	if k != k2 {
+		return nil, fmt.Errorf("%w: matmulTransB inner dims %d != %d", ErrShape, k, k2)
+	}
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		ai := a.data[i*k : (i+1)*k]
+		di := out.data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			bj := b.data[j*k : (j+1)*k]
+			s := 0.0
+			for kk, av := range ai {
+				s += av * bj[kk]
+			}
+			di[j] = s
+		}
+	}
+	return out, nil
+}
+
+// Transpose returns the transpose of a rank-2 tensor.
+func Transpose(a *Tensor) (*Tensor, error) {
+	if a.Rank() != 2 {
+		return nil, fmt.Errorf("%w: transpose needs rank-2, got %v", ErrShape, a.shape)
+	}
+	m, n := a.shape[0], a.shape[1]
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.data[j*m+i] = a.data[i*n+j]
+		}
+	}
+	return out, nil
+}

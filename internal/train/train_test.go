@@ -1,0 +1,337 @@
+package train
+
+import (
+	"math"
+	"testing"
+
+	"offloadnn/internal/dataset"
+	"offloadnn/internal/dnn"
+	"offloadnn/internal/tensor"
+)
+
+func smallSplit(t *testing.T, classes, perTrain, perTest int, seed int64) *dataset.Split {
+	t.Helper()
+	g := dataset.Generator{ImageSize: 8, Noise: 0.15}
+	cats := dataset.BaseCategories()[:classes]
+	return dataset.Generate(g, cats, perTrain, perTest, seed)
+}
+
+func smallModel(classes int, seed int64) *dnn.Model {
+	return dnn.BuildResNet18(dnn.ResNetConfig{
+		InChannels: 3, NumClasses: classes, BaseWidth: 4,
+		StageBlocks: [4]int{1, 1, 1, 1}, Seed: seed,
+	})
+}
+
+func TestTrainerLearnsSyntheticClasses(t *testing.T) {
+	sp := smallSplit(t, 3, 12, 6, 1)
+	m := smallModel(3, 2)
+	tr, err := NewTrainer(m, NewAdam(0.01, 1e-4), CosineAnnealing{Base: 0.01, Min: 1e-4, Total: 12}, 12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := tr.Evaluate(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastLoss float64
+	for e := 0; e < 12; e++ {
+		lastLoss, err = tr.TrainEpoch(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	after, err := tr.Evaluate(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after <= before && after < 0.6 {
+		t.Fatalf("training did not improve accuracy: before %v, after %v (loss %v)", before, after, lastLoss)
+	}
+	if tr.Epoch() != 12 {
+		t.Fatalf("epoch counter = %d, want 12", tr.Epoch())
+	}
+}
+
+func TestFrozenBackboneTrainsFasterPerEpoch(t *testing.T) {
+	// Frozen-backbone fine-tuning must update fewer parameters. This is
+	// the mechanism behind CONFIG B/C's cheap training; verify parameters
+	// of frozen stages do not move.
+	sp := smallSplit(t, 2, 8, 4, 4)
+	m := smallModel(2, 5)
+	m.FreezeStages(0, 1, 2, 3)
+	frozen := m.BlockByStage(2).Params()
+	snapshot := make([]float64, 0)
+	for _, p := range frozen {
+		snapshot = append(snapshot, p.Data()...)
+	}
+	tr, err := NewTrainer(m, NewSGD(0.01, 0.9, 0), CosineAnnealing{Base: 0.01, Total: 4}, 8, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < 2; e++ {
+		if _, err := tr.TrainEpoch(sp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	for _, p := range frozen {
+		for _, v := range p.Data() {
+			if v != snapshot[i] {
+				t.Fatal("frozen stage parameters moved during training")
+			}
+			i++
+		}
+	}
+}
+
+func TestSGDMomentumState(t *testing.T) {
+	o := NewSGD(0.1, 0.9, 0)
+	if o.StateBytesPerParam() != 8 {
+		t.Fatalf("momentum SGD state bytes = %d, want 8", o.StateBytesPerParam())
+	}
+	o2 := NewSGD(0.1, 0, 0)
+	if o2.StateBytesPerParam() != 0 {
+		t.Fatalf("plain SGD state bytes = %d, want 0", o2.StateBytesPerParam())
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	// Minimize f(x) = (x-3)^2 with Adam; gradient = 2(x-3).
+	x := mustTensor(t, []float64{0}, 1)
+	g := mustTensor(t, []float64{0}, 1)
+	o := NewAdam(0.1, 0)
+	for i := 0; i < 500; i++ {
+		g.Data()[0] = 2 * (x.Data()[0] - 3)
+		if err := o.Step(paramList(x), paramList(g)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if math.Abs(x.Data()[0]-3) > 0.05 {
+		t.Fatalf("Adam converged to %v, want 3", x.Data()[0])
+	}
+}
+
+func TestCosineAnnealingEndpoints(t *testing.T) {
+	s := CosineAnnealing{Base: 0.2, Min: 0.001, Total: 100}
+	if s.LR(0) != 0.2 {
+		t.Fatalf("LR(0) = %v, want 0.2", s.LR(0))
+	}
+	if math.Abs(s.LR(100)-0.001) > 1e-12 {
+		t.Fatalf("LR(100) = %v, want 0.001", s.LR(100))
+	}
+	mid := s.LR(50)
+	if mid <= 0.001 || mid >= 0.2 {
+		t.Fatalf("LR(50) = %v, want strictly between", mid)
+	}
+	// Monotone decreasing.
+	prev := s.LR(0)
+	for e := 1; e <= 100; e++ {
+		cur := s.LR(e)
+		if cur > prev+1e-12 {
+			t.Fatalf("LR increased at epoch %d: %v > %v", e, cur, prev)
+		}
+		prev = cur
+	}
+	// Clamped past the horizon.
+	if s.LR(200) != s.LR(100) {
+		t.Fatal("LR should clamp past Total")
+	}
+}
+
+func TestNewTrainerValidation(t *testing.T) {
+	m := smallModel(2, 7)
+	if _, err := NewTrainer(m, NewAdam(0.01, 0), CosineAnnealing{}, 0, 1); err == nil {
+		t.Fatal("batch size 0 should be rejected")
+	}
+	if _, err := NewTrainer(nil, NewAdam(0.01, 0), CosineAnnealing{}, 8, 1); err == nil {
+		t.Fatal("nil model should be rejected")
+	}
+}
+
+func TestEvaluateClassMeasuresSingleClass(t *testing.T) {
+	sp := smallSplit(t, 3, 4, 4, 8)
+	m := smallModel(3, 9)
+	acc, err := EvaluateClass(m, sp, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0 || acc > 1 {
+		t.Fatalf("class accuracy %v out of [0,1]", acc)
+	}
+	if _, err := EvaluateClass(m, sp, 99); err == nil {
+		t.Fatal("missing class should error")
+	}
+}
+
+func TestMemoryModelRanksConfigsLikePaper(t *testing.T) {
+	stats := dnn.ResNet18Stats(64, 224, 61, [4]float64{})
+	mm := DefaultMemoryModel()
+	peak := map[string]float64{}
+	for _, name := range []string{"A", "B", "C", "D", "E"} {
+		cfg, err := dnn.ConfigByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		peak[name] = mm.PeakMiB(stats, cfg)
+	}
+	// Fig. 2(right): A highest; B and C markedly lower (≈1.8× less);
+	// D and E in between, increasing as fewer blocks are shared.
+	if !(peak["A"] > peak["E"] && peak["E"] > peak["D"] && peak["D"] > peak["C"] && peak["C"] > peak["B"]) {
+		t.Fatalf("memory ordering wrong: %v", peak)
+	}
+	ratio := peak["A"] / peak["B"]
+	if ratio < 1.4 || ratio > 2.6 {
+		t.Fatalf("A/B memory ratio %v outside the ~1.8x band", ratio)
+	}
+}
+
+func TestMemoryModelFullScaleMagnitude(t *testing.T) {
+	// Fig. 2(right) reports 2000–5000 MiB; the calibrated model should
+	// land in the same order of magnitude for CONFIG A.
+	stats := dnn.ResNet18Stats(64, 224, 61, [4]float64{})
+	mm := DefaultMemoryModel()
+	cfgA, err := dnn.ConfigByName("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mib := mm.PeakMiB(stats, cfgA)
+	if mib < 1000 || mib > 20000 {
+		t.Fatalf("CONFIG A peak %v MiB implausible", mib)
+	}
+}
+
+func TestPaperConvergenceMatchesFig2(t *testing.T) {
+	a, err := PaperConvergence("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := PaperConvergence("B")
+	c, _ := PaperConvergence("C")
+	d, _ := PaperConvergence("D")
+	e, _ := PaperConvergence("E")
+
+	// CONFIG A needs >200 epochs to 80%; B and C converge much faster.
+	if ea := a.EpochsToReach(80, 400); ea <= 200 {
+		t.Fatalf("CONFIG A reaches 80%% at epoch %d, want >200", ea)
+	}
+	eb := b.EpochsToReach(80, 400)
+	ec := c.EpochsToReach(80, 400)
+	ed := d.EpochsToReach(80, 400)
+	ee := e.EpochsToReach(80, 400)
+	if eb < 0 || eb > 100 {
+		t.Fatalf("CONFIG B reaches 80%% at epoch %d, want fast", eb)
+	}
+	if ec < 0 || ec > 100 {
+		t.Fatalf("CONFIG C reaches 80%% at epoch %d, want fast", ec)
+	}
+	if !(ec < ed && ed < ee) {
+		t.Fatalf("C (%d) should beat D (%d) should beat E (%d) to 80%%", ec, ed, ee)
+	}
+	// After 250+ epochs CONFIG A overtakes the shared configs.
+	if a.Accuracy(260) <= b.Accuracy(260) || a.Accuracy(260) <= c.Accuracy(260) {
+		t.Fatalf("CONFIG A at 260 epochs (%v) should exceed B (%v) and C (%v)",
+			a.Accuracy(260), b.Accuracy(260), c.Accuracy(260))
+	}
+	if _, err := PaperConvergence("Z"); err == nil {
+		t.Fatal("unknown config should error")
+	}
+}
+
+func TestPaperClassAccuracyOrdering(t *testing.T) {
+	// Pruning always costs accuracy, and CONFIG B-pruned retains the most.
+	for _, name := range []string{"A", "B", "C", "D", "E"} {
+		full, err := PaperClassAccuracy(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pruned, err := PaperClassAccuracy(name + "-pruned")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pruned >= full {
+			t.Fatalf("CONFIG %s pruned accuracy %v >= full %v", name, pruned, full)
+		}
+	}
+	b, _ := PaperClassAccuracy("B-pruned")
+	for _, name := range []string{"A-pruned", "C-pruned", "D-pruned", "E-pruned"} {
+		v, _ := PaperClassAccuracy(name)
+		if v >= b {
+			t.Fatalf("B-pruned (%v) should retain the most accuracy, but %s = %v", b, name, v)
+		}
+	}
+	if _, err := PaperClassAccuracy("Q"); err == nil {
+		t.Fatal("unknown config should error")
+	}
+}
+
+func mustTensor(t *testing.T, data []float64, shape ...int) *tensor.Tensor {
+	t.Helper()
+	tt, err := tensor.FromSlice(data, shape...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tt
+}
+
+func paramList(ts ...*tensor.Tensor) []*tensor.Tensor { return ts }
+
+func TestMeasuredPeakMatchesAnalyticOrdering(t *testing.T) {
+	// The instantiated-model memory accounting must rank Table-I configs
+	// exactly like the analytic ResNet18Stats model.
+	base := dnn.BuildResNet18(dnn.DefaultResNetConfig())
+	stats := dnn.ResNet18Stats(8, 16, 8, [4]float64{})
+	mm := DefaultMemoryModel()
+	mm.BatchSize = 16
+
+	acts := func(stage int) (int64, int64) {
+		b := stats.Block(stage)
+		return int64(b.ActivationElems), int64(b.OutputElems)
+	}
+
+	var prevMeasured int64 = -1
+	var prevAnalytic int64 = -1
+	// Order B, C, D, E, A: both accountings must be non-decreasing.
+	for _, name := range []string{"B", "C", "D", "E", "A"} {
+		cfg, err := dnn.ConfigByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := dnn.BuildConfigModel(base, cfg, "mem-"+name, 9, 77)
+		if err != nil {
+			t.Fatal(err)
+		}
+		measured := mm.MeasuredPeakBytes(m, acts)
+		analytic := mm.PeakBytes(stats, cfg)
+		if prevMeasured >= 0 && measured < prevMeasured {
+			t.Fatalf("measured peak for %s (%d) below previous config (%d)", name, measured, prevMeasured)
+		}
+		if prevAnalytic >= 0 && analytic < prevAnalytic {
+			t.Fatalf("analytic peak for %s (%d) below previous config (%d)", name, analytic, prevAnalytic)
+		}
+		prevMeasured, prevAnalytic = measured, analytic
+	}
+}
+
+func TestOptimizerStepValidation(t *testing.T) {
+	p := mustTensor(t, []float64{1}, 1)
+	g2 := mustTensor(t, []float64{1, 2}, 2)
+	if err := NewSGD(0.1, 0.9, 0).Step(paramList(p), paramList(g2)); err == nil {
+		t.Fatal("mismatched param/grad shapes should error")
+	}
+	if err := NewAdam(0.1, 0).Step(paramList(p), nil); err == nil {
+		t.Fatal("mismatched list lengths should error")
+	}
+}
+
+func TestSGDWeightDecayShrinksWeights(t *testing.T) {
+	p := mustTensor(t, []float64{10}, 1)
+	g := mustTensor(t, []float64{0}, 1)
+	o := NewSGD(0.1, 0, 0.5) // pure decay: w -= lr*wd*w
+	if err := o.Step(paramList(p), paramList(g)); err != nil {
+		t.Fatal(err)
+	}
+	if p.Data()[0] >= 10 {
+		t.Fatalf("weight decay did not shrink weight: %v", p.Data()[0])
+	}
+}

@@ -1,0 +1,237 @@
+// Package workload builds the DOT problem instances of the paper's
+// evaluation (Table IV): the small-scale scenario (T = 1..5 tasks, 3 DNNs
+// × 5 paths) used to compare OffloaDNN against the optimum, and the
+// large-scale scenario (20 tasks, 125 DNNs × 10 paths, three request-rate
+// loads) used against SEM-O-RAN. The per-block costs follow the shape
+// measured by the profiler on the real (scaled) ResNet-18 — later stages
+// cost more compute and memory, 80% structured pruning cuts compute to
+// ~25% and memory to ~20% — calibrated to paper magnitudes (full-path
+// inference ≈ 8.5 ms, full DNN deployment ≈ 1.06 GB).
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"offloadnn/internal/core"
+)
+
+// CatalogParams parameterizes DNN-catalog generation.
+type CatalogParams struct {
+	// NumDNNs is |D|: how many dynamic DNN structures to generate.
+	NumDNNs int
+	// PathsPerDNN is |Π^d_τ|: candidate paths per DNN per task.
+	PathsPerDNN int
+	// StageComputeSeconds is the full per-stage inference compute time.
+	StageComputeSeconds [4]float64
+	// StageMemoryGB is the full per-stage deployed memory.
+	StageMemoryGB [4]float64
+	// PruneComputeRatio scales compute of 80%-pruned blocks (~0.25).
+	PruneComputeRatio float64
+	// PruneMemoryRatio scales memory of 80%-pruned blocks (~0.2).
+	PruneMemoryRatio float64
+	// FtTrainPerStage is the fine-tuning cost of a task-specific stage-s
+	// block: ct = FtTrainPerStage·s seconds.
+	FtTrainPerStage float64
+	// SharedPrunedTrainPerStage is the one-time cost of producing a
+	// shared pruned base block: ct = SharedPrunedTrainPerStage·s.
+	SharedPrunedTrainPerStage float64
+	// BaseAccuracy is the accuracy of a fully fine-tuned unpruned path.
+	BaseAccuracy float64
+	// SharedStage4Penalty is the accuracy lost when the final stage is a
+	// generic base block rather than task-specific (high-level features
+	// do not transfer).
+	SharedStage4Penalty float64
+	// SharedBasePenalty is the accuracy lost per shared early stage.
+	SharedBasePenalty float64
+	// PrunedFtPenalty is the accuracy lost per pruned task-specific stage.
+	PrunedFtPenalty float64
+	// PrunedBasePenalty is the accuracy lost per pruned shared stage.
+	PrunedBasePenalty float64
+	// Family optionally namespaces the generated blocks into a second
+	// architecture family (e.g., "lite" for a MobileNetV2-class catalog);
+	// empty means the default ResNet-18 family.
+	Family string
+	// Seed drives the deterministic jitter.
+	Seed int64
+}
+
+// SmallCatalogParams returns the 3-DNN × 5-path catalog of the small
+// scenario.
+func SmallCatalogParams() CatalogParams {
+	return CatalogParams{
+		NumDNNs:                   3,
+		PathsPerDNN:               5,
+		StageComputeSeconds:       [4]float64{0.0012, 0.0017, 0.0024, 0.0032},
+		StageMemoryGB:             [4]float64{0.10, 0.16, 0.28, 0.52},
+		PruneComputeRatio:         0.25,
+		PruneMemoryRatio:          0.2,
+		FtTrainPerStage:           30,
+		SharedPrunedTrainPerStage: 3,
+		BaseAccuracy:              0.93,
+		SharedStage4Penalty:       0.35,
+		SharedBasePenalty:         0.01,
+		PrunedFtPenalty:           0.015,
+		PrunedBasePenalty:         0.02,
+		Seed:                      1,
+	}
+}
+
+// LargeCatalogParams returns the 125-DNN × 10-path catalog of the large
+// scenario.
+func LargeCatalogParams() CatalogParams {
+	p := SmallCatalogParams()
+	p.NumDNNs = 125
+	p.PathsPerDNN = 10
+	p.FtTrainPerStage = 10
+	p.Seed = 2
+	return p
+}
+
+// hash64 mixes integers into a deterministic pseudo-random value in [0,1).
+func hash64(vals ...int64) float64 {
+	var h uint64 = 14695981039346656037
+	for _, v := range vals {
+		h ^= uint64(v)
+		h *= 1099511628211
+		h ^= h >> 33
+	}
+	return float64(h%1_000_000) / 1_000_000
+}
+
+// pathShape describes one path's composition.
+type pathShape struct {
+	sharedPrefix int  // leading stages from the shared base (0..4)
+	basePruned   bool // shared stages use the pruned base variant
+	ftPruned     bool // task-specific stages use the pruned fine-tuned variant
+}
+
+// shapeFor derives the composition of path j on DNN d. The first DNNs
+// cover the Table-I-like grid (unpruned, fine-tuned-pruned, all-pruned
+// variants across shared-prefix lengths); the remainder fan out over the
+// same grid, differing by cost/accuracy jitter.
+func shapeFor(d, j, pathsPerDNN int) pathShape {
+	prefix := j * 5 / pathsPerDNN // 0..4 across the path index
+	return pathShape{
+		sharedPrefix: prefix,
+		basePruned:   d%3 == 2,
+		ftPruned:     d%3 >= 1,
+	}
+}
+
+// blockIDs of the global catalog. The default family uses the "base"/"ft"
+// namespaces; a named family prefixes its own.
+func (p CatalogParams) baseBlockID(stage int, pruned bool) string {
+	prefix := "base"
+	if p.Family != "" {
+		prefix = p.Family + "/base"
+	}
+	if pruned {
+		return fmt.Sprintf("%s/s%d/p80", prefix, stage)
+	}
+	return fmt.Sprintf("%s/s%d", prefix, stage)
+}
+
+func (p CatalogParams) ftBlockID(taskID string, stage int, pruned bool) string {
+	prefix := "ft"
+	if p.Family != "" {
+		prefix = p.Family + "/ft"
+	}
+	if pruned {
+		return fmt.Sprintf("%s/%s/s%d/p80", prefix, taskID, stage)
+	}
+	return fmt.Sprintf("%s/%s/s%d", prefix, taskID, stage)
+}
+
+// registerBlocks ensures the blocks of a shape exist in the catalog and
+// returns the path's block IDs.
+func (p CatalogParams) registerBlocks(blocks map[string]core.BlockSpec, taskID string, sh pathShape) []string {
+	ids := make([]string, 0, 4)
+	for stage := 1; stage <= 4; stage++ {
+		shared := stage <= sh.sharedPrefix
+		var id string
+		var spec core.BlockSpec
+		c := p.StageComputeSeconds[stage-1]
+		m := p.StageMemoryGB[stage-1]
+		switch {
+		case shared && !sh.basePruned:
+			id = p.baseBlockID(stage, false)
+			spec = core.BlockSpec{ID: id, ComputeSeconds: c, MemoryGB: m}
+		case shared && sh.basePruned:
+			id = p.baseBlockID(stage, true)
+			spec = core.BlockSpec{
+				ID:             id,
+				ComputeSeconds: c * p.PruneComputeRatio,
+				MemoryGB:       m * p.PruneMemoryRatio,
+				TrainSeconds:   p.SharedPrunedTrainPerStage * float64(stage),
+			}
+		case !shared && !sh.ftPruned:
+			id = p.ftBlockID(taskID, stage, false)
+			spec = core.BlockSpec{
+				ID:             id,
+				ComputeSeconds: c,
+				MemoryGB:       m,
+				TrainSeconds:   p.FtTrainPerStage * float64(stage),
+			}
+		default:
+			id = p.ftBlockID(taskID, stage, true)
+			spec = core.BlockSpec{
+				ID:             id,
+				ComputeSeconds: c * p.PruneComputeRatio,
+				MemoryGB:       m * p.PruneMemoryRatio,
+				TrainSeconds:   p.FtTrainPerStage * float64(stage),
+			}
+		}
+		if _, ok := blocks[id]; !ok {
+			blocks[id] = spec
+		}
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// accuracy computes the attained accuracy of a shape for a task, with
+// deterministic jitter distinguishing the many DNN variants.
+func (p CatalogParams) accuracy(taskIdx, d, j int, sh pathShape) float64 {
+	acc := p.BaseAccuracy
+	if sh.sharedPrefix >= 4 {
+		acc -= p.SharedStage4Penalty
+	}
+	early := sh.sharedPrefix
+	if early > 3 {
+		early = 3
+	}
+	acc -= p.SharedBasePenalty * float64(early)
+	if sh.basePruned {
+		acc -= p.PrunedBasePenalty * float64(early)
+	}
+	if sh.ftPruned {
+		acc -= p.PrunedFtPenalty * float64(4-sh.sharedPrefix)
+	}
+	// ±1% jitter across (task, DNN, path).
+	acc += (hash64(p.Seed, int64(taskIdx), int64(d), int64(j)) - 0.5) * 0.02
+	return math.Max(0, acc)
+}
+
+// BuildPaths generates the candidate paths of one task over the whole DNN
+// catalog, registering any new blocks into the shared block map.
+func (p CatalogParams) BuildPaths(blocks map[string]core.BlockSpec, taskID string, taskIdx int) []core.PathSpec {
+	paths := make([]core.PathSpec, 0, p.NumDNNs*p.PathsPerDNN)
+	for d := 0; d < p.NumDNNs; d++ {
+		for j := 0; j < p.PathsPerDNN; j++ {
+			sh := shapeFor(d, j, p.PathsPerDNN)
+			ids := p.registerBlocks(blocks, taskID, sh)
+			dnnName := fmt.Sprintf("dnn-%d", d)
+			if p.Family != "" {
+				dnnName = fmt.Sprintf("%s-dnn-%d", p.Family, d)
+			}
+			paths = append(paths, core.PathSpec{
+				ID:       fmt.Sprintf("d%d/π%d", d, j),
+				DNN:      dnnName,
+				Blocks:   ids,
+				Accuracy: p.accuracy(taskIdx, d, j, sh),
+			})
+		}
+	}
+	return paths
+}

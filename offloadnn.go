@@ -1,0 +1,211 @@
+// Package offloadnn is the public API of the OffloaDNN reproduction: a
+// framework for scalable offloading of computer-vision DNN inference
+// tasks to an edge server, reproducing "OffloaDNN: Shaping DNNs for
+// Scalable Offloading of Computer Vision Tasks at the Edge" (ICDCS 2024).
+//
+// The framework jointly decides (i) which offloaded tasks to admit and at
+// what fraction of their request rate, (ii) which dynamic DNN structure —
+// a path of shareable, fine-tunable, prunable layer-blocks — serves each
+// task, and (iii) how many radio resource blocks each task's slice gets,
+// minimizing the DOT objective under memory, compute, radio, accuracy and
+// latency constraints.
+//
+// Basic use:
+//
+//	in, _ := offloadnn.SmallScenario(5)        // or build an Instance by hand
+//	sol, _ := offloadnn.Solve(in)              // the OffloaDNN heuristic
+//	for _, a := range sol.Assignments { ... }  // per-task z, path, RBs
+//
+// The exhaustive benchmark solver, the SEM-O-RAN baseline, the edge
+// emulator and the experiment drivers for every figure and table of the
+// paper are re-exported below.
+package offloadnn
+
+import (
+	"offloadnn/internal/core"
+	"offloadnn/internal/edge"
+	"offloadnn/internal/experiments"
+	"offloadnn/internal/radio"
+	"offloadnn/internal/semoran"
+	"offloadnn/internal/workload"
+)
+
+// Core DOT problem types.
+type (
+	// Instance is a complete DOT problem: tasks, block catalog, resource
+	// pools, and the admission/resource trade-off weight α.
+	Instance = core.Instance
+	// Task is an inference task with priority, rate, accuracy and
+	// latency requirements, input size and candidate paths.
+	Task = core.Task
+	// BlockSpec is an experimentally characterized DNN layer-block.
+	BlockSpec = core.BlockSpec
+	// PathSpec is a candidate execution: a block sequence with attained
+	// accuracy.
+	PathSpec = core.PathSpec
+	// Resources is the edge/radio capacity pool.
+	Resources = core.Resources
+	// Assignment is the per-task solver output: path, admission ratio z,
+	// and RB allocation r.
+	Assignment = core.Assignment
+	// Solution is a solved instance with cost breakdown.
+	Solution = core.Solution
+	// Breakdown decomposes a solution's objective and resource usage.
+	Breakdown = core.Breakdown
+	// OptimalStats reports the exhaustive solver's search effort.
+	OptimalStats = core.OptimalStats
+	// Tree is the weighted-tree model of the DOT solution space.
+	Tree = core.Tree
+)
+
+// Radio substrate types.
+type (
+	// CapacityModel maps SNR to per-RB throughput B(σ).
+	CapacityModel = radio.CapacityModel
+	// FixedRate is the paper's constant-rate capacity model.
+	FixedRate = radio.FixedRate
+	// CQITable is the LTE CQI-based capacity model.
+	CQITable = radio.CQITable
+)
+
+// Edge emulation types.
+type (
+	// Controller implements the Fig. 4 admission workflow.
+	Controller = edge.Controller
+	// Deployment is an admission round's outcome.
+	Deployment = edge.Deployment
+	// Emulator drives admitted tasks through radio and compute to
+	// measure end-to-end latency (the Colosseum-substitute experiment).
+	Emulator = edge.Emulator
+	// EmulatorConfig tunes an emulation run.
+	EmulatorConfig = edge.EmulatorConfig
+	// EmulationResult aggregates per-task latency traces.
+	EmulationResult = edge.Result
+)
+
+// Baseline types.
+type (
+	// SEMORANConfig parameterizes the SEM-O-RAN baseline.
+	SEMORANConfig = semoran.Config
+	// SEMORANReport is the baseline's solution.
+	SEMORANReport = semoran.Report
+)
+
+// Load is the large-scenario request-rate level.
+type Load = workload.Load
+
+// Load levels of the Table-IV large scenario.
+const (
+	LoadLow    = workload.LoadLow
+	LoadMedium = workload.LoadMedium
+	LoadHigh   = workload.LoadHigh
+)
+
+// Solve runs the OffloaDNN heuristic (weighted tree, first branch,
+// per-branch convex allocation). Polynomial time: suitable for large
+// instances.
+func Solve(in *Instance) (*Solution, error) { return core.SolveOffloaDNN(in) }
+
+// SolveOptimal exhaustively searches every tree branch — exponential in
+// the number of tasks; the benchmark for small instances.
+func SolveOptimal(in *Instance) (*Solution, *OptimalStats, error) {
+	return core.SolveOptimal(in)
+}
+
+// SolveSEMORAN runs the SEM-O-RAN baseline: binary admission maximizing
+// total task value, full unshared DNNs, semantic input compression.
+func SolveSEMORAN(in *Instance, cfg SEMORANConfig) (*SEMORANReport, error) {
+	return semoran.Solve(in, cfg)
+}
+
+// DefaultSEMORANConfig returns the baseline's default compression ladder.
+func DefaultSEMORANConfig() SEMORANConfig { return semoran.DefaultConfig() }
+
+// Check verifies every DOT constraint for a set of assignments.
+func Check(in *Instance, assignments []Assignment) error { return in.Check(assignments) }
+
+// SmallScenario builds the paper's Table-IV small-scale instance with
+// 1..5 tasks (3 DNNs × 5 paths per task).
+func SmallScenario(tasks int) (*Instance, error) { return workload.SmallScenario(tasks) }
+
+// LargeScenario builds the paper's Table-IV large-scale instance: 20
+// tasks, 125 DNNs × 10 paths, at the given request-rate load.
+func LargeScenario(load Load) (*Instance, error) { return workload.LargeScenario(load) }
+
+// PaperCapacity returns the Table-IV fixed per-RB rate (0.35 Mb/s).
+func PaperCapacity() FixedRate { return radio.PaperRate() }
+
+// NewController builds an edge controller over the given resource pools.
+func NewController(res Resources) *Controller { return edge.NewController(res) }
+
+// NewEmulator binds a deployment to an emulation configuration.
+func NewEmulator(in *Instance, dep *Deployment, cfg EmulatorConfig) (*Emulator, error) {
+	return edge.NewEmulator(in, dep, cfg)
+}
+
+// DefaultEmulatorConfig returns a 20-second emulation with realistic
+// jitter.
+func DefaultEmulatorConfig() EmulatorConfig { return edge.DefaultEmulatorConfig() }
+
+// Experiment is a regenerator for one of the paper's tables or figures.
+type Experiment = experiments.Experiment
+
+// ExperimentOptions tunes experiment execution.
+type ExperimentOptions = experiments.Options
+
+// Experiments returns the full per-figure/per-table experiment suite.
+func Experiments() []Experiment { return experiments.All() }
+
+// ExperimentByID looks up one experiment (e.g., "fig9").
+func ExperimentByID(id string) (Experiment, error) { return experiments.ByID(id) }
+
+// Quality and ablation extensions.
+type (
+	// QualityLevel is one input-quality option q ∈ Q_τ of the DOT
+	// formulation: fewer bits per image at an accuracy cost.
+	QualityLevel = core.QualityLevel
+	// HeuristicConfig parameterizes OffloaDNN ablation variants.
+	HeuristicConfig = core.HeuristicConfig
+	// CliqueOrder selects the clique vertex ordering.
+	CliqueOrder = core.CliqueOrder
+	// Repository is the edge's persistent DNN repository (Fig. 4).
+	Repository = edge.Repository
+)
+
+// Clique orderings for SolveConfigured.
+const (
+	OrderCompute  = core.OrderCompute
+	OrderMemory   = core.OrderMemory
+	OrderAccuracy = core.OrderAccuracy
+	OrderNone     = core.OrderNone
+)
+
+// SolveConfigured runs an OffloaDNN ablation variant (clique ordering,
+// binary admission).
+func SolveConfigured(in *Instance, cfg HeuristicConfig) (*Solution, error) {
+	return core.SolveOffloaDNNConfigured(in, cfg)
+}
+
+// PrivatizeBlocks returns a copy of the instance with all cross-task
+// block sharing disabled (the sharing ablation).
+func PrivatizeBlocks(in *Instance) *Instance { return core.PrivatizeBlocks(in) }
+
+// HeterogeneousScenario builds the two-family extension of the large
+// scenario (ResNet-18 plus a MobileNetV2-class lite catalog).
+func HeterogeneousScenario(load Load) (*Instance, error) {
+	return workload.HeterogeneousScenario(load)
+}
+
+// NewRepository creates a DNN repository; dir may be empty for a
+// memory-only store.
+func NewRepository(dir string) *Repository { return edge.NewRepository(dir) }
+
+// SolveOptimalParallel is the exhaustive solver with the first tree layer
+// fanned out over a bounded worker pool (workers ≤ 0 = NumCPU).
+func SolveOptimalParallel(in *Instance, workers int) (*Solution, *OptimalStats, error) {
+	return core.SolveOptimalParallel(in, workers)
+}
+
+// BuildTree constructs the weighted-tree model of an instance's solution
+// space (cliques per task, sorted by inference compute time).
+func BuildTree(in *Instance) (*Tree, error) { return core.BuildTree(in) }
