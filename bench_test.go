@@ -15,6 +15,7 @@ import (
 	"offloadnn/internal/experiments"
 	"offloadnn/internal/profile"
 	"offloadnn/internal/semoran"
+	"offloadnn/internal/serve"
 	"offloadnn/internal/tensor"
 	"offloadnn/internal/workload"
 )
@@ -298,6 +299,36 @@ func BenchmarkSolveHeterogeneousLarge(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.SolveOffloaDNN(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEpochResolve times one serving-path epoch: a full DOT solve
+// over the 20-task large scenario plus the atomic deployment swap the
+// edgeserve daemon performs on every churn batch.
+func BenchmarkEpochResolve(b *testing.B) {
+	in, err := workload.LargeScenario(workload.LoadHigh)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := serve.New(serve.Config{
+		Res:      in.Res,
+		Alpha:    in.Alpha,
+		Debounce: time.Hour, // keep the background loop out of the measurement
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	for _, task := range in.Tasks {
+		if err := srv.Register(task, in.Blocks); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := srv.ForceResolve(); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,291 @@
+// Command edgeload drives an edgeserve daemon with live traffic: it
+// registers the Table-IV small-scenario tasks over HTTP, fires offload
+// requests at each task's request rate λ (optionally scaled above it to
+// probe the admission gates), and reports the admitted throughput
+// against the daemon's notified rates z·λ. With -churn it follows a
+// deterministic arrival/departure timeline instead, forcing the daemon
+// through repeated epoch re-solves mid-load.
+//
+// Usage:
+//
+//	edgeload                              # 5 tasks, 10 s at λ against :8080
+//	edgeload -duration 30s -scale 2       # overdrive at 2λ: expect 429s
+//	edgeload -churn -seed 3               # dynamic arrivals and departures
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"offloadnn/internal/core"
+	"offloadnn/internal/serve"
+	"offloadnn/internal/workload"
+)
+
+// counts tallies one task's offload verdicts.
+type counts struct {
+	sent, ok, limited, missing, other int
+	notified                          float64 // last admitted_rate the daemon reported
+}
+
+// loader is the shared HTTP client and result table.
+type loader struct {
+	base   string
+	client *http.Client
+
+	mu     sync.Mutex
+	byTask map[string]*counts
+}
+
+func (l *loader) task(id string) *counts {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	c, ok := l.byTask[id]
+	if !ok {
+		c = &counts{}
+		l.byTask[id] = c
+	}
+	return c
+}
+
+func (l *loader) postJSON(path string, body, out any) (int, error) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := l.client.Post(l.base+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, err
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+func (l *loader) register(task core.Task) error {
+	spec := serve.TaskSpec{
+		ID:           task.ID,
+		Priority:     task.Priority,
+		Rate:         task.Rate,
+		MinAccuracy:  task.MinAccuracy,
+		MaxLatencyMS: float64(task.MaxLatency) / float64(time.Millisecond),
+		InputBits:    task.InputBits,
+		SNRdB:        task.SNRdB,
+	}
+	status, err := l.postJSON("/v1/tasks", spec, nil)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusAccepted && status != http.StatusConflict {
+		return fmt.Errorf("register %s: status %d", task.ID, status)
+	}
+	return nil
+}
+
+func (l *loader) deregister(id string) error {
+	req, err := http.NewRequest(http.MethodDelete, l.base+"/v1/tasks/"+id, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := l.client.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	return nil
+}
+
+// waitCurrent polls /healthz until the daemon's epoch covers the latest
+// registration churn.
+func (l *loader) waitCurrent(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		resp, err := l.client.Get(l.base + "/healthz")
+		if err != nil {
+			return err
+		}
+		var h struct {
+			Epoch   uint64 `json:"epoch"`
+			Current bool   `json:"current"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&h)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if h.Current && h.Epoch > 0 {
+			return nil
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return fmt.Errorf("daemon epoch never caught up within %v", timeout)
+}
+
+// offloadLoop fires requests for one task at rate λ·scale until the
+// context ends.
+func (l *loader) offloadLoop(ctx context.Context, task core.Task, scale float64) {
+	period := time.Duration(float64(time.Second) / (task.Rate * scale))
+	ticker := time.NewTicker(period)
+	defer ticker.Stop()
+	c := l.task(task.ID)
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		var or serve.OffloadResponse
+		status, err := l.postJSON("/v1/offload", serve.OffloadRequest{Task: task.ID}, &or)
+		l.mu.Lock()
+		c.sent++
+		switch {
+		case err != nil:
+			c.other++
+		case status == http.StatusOK:
+			c.ok++
+			c.notified = or.AdmittedRate
+		case status == http.StatusTooManyRequests:
+			c.limited++
+		case status == http.StatusNotFound:
+			c.missing++
+		default:
+			c.other++
+		}
+		l.mu.Unlock()
+	}
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "edgeserve base URL")
+	tasks := flag.Int("tasks", 5, "number of small-scenario tasks (1..5)")
+	duration := flag.Duration("duration", 10*time.Second, "load duration")
+	scale := flag.Float64("scale", 1.0, "request-rate multiplier on each task's λ")
+	churn := flag.Bool("churn", false, "follow the deterministic churn timeline instead of a static task set")
+	seed := flag.Int64("seed", 1, "churn timeline seed")
+	flag.Parse()
+
+	l := &loader{
+		base:   *addr,
+		client: &http.Client{Timeout: 5 * time.Second},
+		byTask: make(map[string]*counts),
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *duration)
+	defer cancel()
+	var wg sync.WaitGroup
+	start := func(task core.Task, stop context.Context) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			l.offloadLoop(stop, task, *scale)
+		}()
+	}
+
+	if *churn {
+		events, err := workload.ChurnTimeline(workload.ChurnParams{Tasks: *tasks, Duration: *duration, Seed: *seed})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "edgeload:", err)
+			return 2
+		}
+		begun := time.Now()
+		cancels := make(map[string]context.CancelFunc)
+		for _, e := range events {
+			if d := e.At - time.Since(begun); d > 0 {
+				select {
+				case <-ctx.Done():
+				case <-time.After(d):
+				}
+			}
+			if ctx.Err() != nil {
+				break
+			}
+			switch e.Kind {
+			case workload.ChurnRegister:
+				if err := l.register(e.Task); err != nil {
+					fmt.Fprintln(os.Stderr, "edgeload:", err)
+					return 1
+				}
+				fmt.Printf("%7.2fs register   %s\n", time.Since(begun).Seconds(), e.Task.ID)
+				taskCtx, taskCancel := context.WithCancel(ctx)
+				cancels[e.Task.ID] = taskCancel
+				start(e.Task, taskCtx)
+			case workload.ChurnDeregister:
+				if stop, ok := cancels[e.Task.ID]; ok {
+					stop()
+					delete(cancels, e.Task.ID)
+				}
+				if err := l.deregister(e.Task.ID); err != nil {
+					fmt.Fprintln(os.Stderr, "edgeload:", err)
+					return 1
+				}
+				fmt.Printf("%7.2fs deregister %s\n", time.Since(begun).Seconds(), e.Task.ID)
+			}
+		}
+		<-ctx.Done()
+	} else {
+		if *tasks < 1 || *tasks > 5 {
+			fmt.Fprintf(os.Stderr, "edgeload: -tasks %d outside 1..5\n", *tasks)
+			return 2
+		}
+		var set []core.Task
+		for i := 1; i <= *tasks; i++ {
+			task, err := workload.SmallTask(i)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "edgeload:", err)
+				return 2
+			}
+			set = append(set, task)
+			if err := l.register(task); err != nil {
+				fmt.Fprintln(os.Stderr, "edgeload:", err)
+				return 1
+			}
+		}
+		if err := l.waitCurrent(5 * time.Second); err != nil {
+			fmt.Fprintln(os.Stderr, "edgeload:", err)
+			return 1
+		}
+		for _, task := range set {
+			start(task, ctx)
+		}
+		<-ctx.Done()
+	}
+	wg.Wait()
+
+	// Report.
+	l.mu.Lock()
+	ids := make([]string, 0, len(l.byTask))
+	for id := range l.byTask {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	fmt.Printf("\n%-10s %6s %6s %6s %6s %6s %14s %12s\n",
+		"task", "sent", "ok", "429", "404", "err", "notified(z·λ)", "achieved/s")
+	exit := 0
+	for _, id := range ids {
+		c := l.byTask[id]
+		fmt.Printf("%-10s %6d %6d %6d %6d %6d %14.2f %12.2f\n",
+			id, c.sent, c.ok, c.limited, c.missing, c.other,
+			c.notified, float64(c.ok)/duration.Seconds())
+		if c.other > 0 {
+			exit = 1
+		}
+	}
+	l.mu.Unlock()
+	return exit
+}

@@ -1,0 +1,117 @@
+// Command edgeserve runs the OffloaDNN edge controller as a long-running
+// serving daemon: tasks register and deregister over HTTP, each churn
+// batch triggers a debounced DOT re-solve (one epoch of the Fig. 4
+// loop), and the offload path enforces the solved admission ratios z·λ
+// with per-task token buckets — over-rate requests get 429 + Retry-After
+// instead of a queue.
+//
+// Endpoints:
+//
+//	POST   /v1/tasks        register a task (JSON: id, priority, rate,
+//	                        min_accuracy, max_latency_ms, input_bits, snr_db)
+//	GET    /v1/tasks        list tasks with their current admission verdicts
+//	DELETE /v1/tasks/{id}   deregister a task
+//	POST   /v1/offload      offload one request (JSON: {"task": "..."})
+//	GET    /healthz         liveness + epoch/generation state
+//	GET    /metrics         text metrics (counters, rates, latency quantiles)
+//
+// Usage:
+//
+//	edgeserve                          # Table-IV small-scenario resources on :8080
+//	edgeserve -addr :9000 -catalog large -rbs 100 -compute 10 -memory 16
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"offloadnn/internal/core"
+	"offloadnn/internal/radio"
+	"offloadnn/internal/serve"
+	"offloadnn/internal/workload"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", ":8080", "HTTP listen address")
+	rbs := flag.Int("rbs", 50, "radio resource blocks R")
+	compute := flag.Float64("compute", 2.5, "edge compute seconds per second C")
+	memory := flag.Float64("memory", 8, "edge memory budget M in GB")
+	trainBudget := flag.Float64("train-budget", 1000, "training budget Ct in seconds")
+	alpha := flag.Float64("alpha", 0.5, "admission/resource trade-off α")
+	debounce := flag.Duration("debounce", 100*time.Millisecond, "churn batching window before a re-solve")
+	window := flag.Int("window", 4096, "latency quantile window (samples)")
+	catalog := flag.String("catalog", "small", "DNN catalog for submitted tasks: small|large")
+	flag.Parse()
+
+	var params workload.CatalogParams
+	switch *catalog {
+	case "small":
+		params = workload.SmallCatalogParams()
+	case "large":
+		params = workload.LargeCatalogParams()
+	default:
+		fmt.Fprintf(os.Stderr, "edgeserve: unknown catalog %q (want small|large)\n", *catalog)
+		return 2
+	}
+
+	srv, err := serve.New(serve.Config{
+		Res: core.Resources{
+			RBs:                *rbs,
+			ComputeSeconds:     *compute,
+			MemoryGB:           *memory,
+			TrainBudgetSeconds: *trainBudget,
+			Capacity:           radio.PaperRate(),
+		},
+		Alpha:    *alpha,
+		Catalog:  params,
+		Debounce: *debounce,
+		Window:   *window,
+		Logf:     log.Printf,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "edgeserve:", err)
+		return 2
+	}
+	defer srv.Close()
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("edgeserve: listening on %s (R=%d RBs, C=%gs, M=%g GB, α=%g, catalog=%s, debounce=%v)",
+		*addr, *rbs, *compute, *memory, *alpha, *catalog, *debounce)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "edgeserve:", err)
+			return 1
+		}
+	case s := <-sig:
+		log.Printf("edgeserve: %v, shutting down", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "edgeserve: shutdown:", err)
+			return 1
+		}
+	}
+	return 0
+}

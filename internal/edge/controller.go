@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"offloadnn/internal/core"
 	"offloadnn/internal/radio"
@@ -35,10 +36,20 @@ type Deployment struct {
 
 // Controller is the OffloaDNN controller of Fig. 4. It owns the resource
 // pools and runs the DOT solver on admission requests.
+//
+// Concurrency contract: Admit is safe for concurrent use — admission
+// rounds serialize on an internal mutex, so two rounds can never
+// interleave their solve/slice/deploy steps. The exported Solve field is
+// read under that mutex but is NOT itself synchronized for writers:
+// configure it once, before the controller is shared across goroutines
+// (the small-scale validation swaps it for the optimum at setup time).
 type Controller struct {
 	res core.Resources
+	// mu serializes admission rounds.
+	mu sync.Mutex
 	// Solve is the solver strategy; defaults to OffloaDNN. Swappable for
-	// the optimum in small-scale validation.
+	// the optimum in small-scale validation. Set before sharing the
+	// controller across goroutines.
 	Solve func(*core.Instance) (*core.Solution, error)
 }
 
@@ -53,8 +64,11 @@ func NewController(res core.Resources) *Controller {
 // Admit runs one admission round (steps 1–6 of the Fig. 4 workflow): it
 // assembles the DOT instance from the requests and block catalog, solves
 // it, allocates the radio slices, deploys the selected blocks and returns
-// the admitted rates for notification to the UEs.
+// the admitted rates for notification to the UEs. Rounds serialize: a
+// concurrent Admit blocks until the in-flight round finishes.
 func (c *Controller) Admit(tasks []core.Task, blocks map[string]core.BlockSpec, alpha float64) (*Deployment, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	in := &core.Instance{Tasks: tasks, Blocks: blocks, Res: c.res, Alpha: alpha}
 	sol, err := c.Solve(in)
 	if err != nil {

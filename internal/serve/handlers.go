@@ -1,0 +1,256 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"offloadnn/internal/core"
+)
+
+// TaskSpec is the JSON body of POST /v1/tasks: the request-side fields
+// of a core.Task. Candidate paths are built server-side from the
+// configured DNN catalog.
+type TaskSpec struct {
+	ID           string  `json:"id"`
+	Priority     float64 `json:"priority"`
+	Rate         float64 `json:"rate"`
+	MinAccuracy  float64 `json:"min_accuracy"`
+	MaxLatencyMS float64 `json:"max_latency_ms"`
+	InputBits    float64 `json:"input_bits"`
+	SNRdB        float64 `json:"snr_db"`
+}
+
+// Task converts the spec into a core.Task (without paths).
+func (s TaskSpec) Task() core.Task {
+	return core.Task{
+		ID:          s.ID,
+		Priority:    s.Priority,
+		Rate:        s.Rate,
+		MinAccuracy: s.MinAccuracy,
+		MaxLatency:  time.Duration(s.MaxLatencyMS * float64(time.Millisecond)),
+		InputBits:   s.InputBits,
+		SNRdB:       s.SNRdB,
+	}
+}
+
+// OffloadRequest is the JSON body of POST /v1/offload.
+type OffloadRequest struct {
+	Task string `json:"task"`
+}
+
+// OffloadResponse is the success body of POST /v1/offload: the epoch
+// that admitted the request and the planned serving parameters.
+type OffloadResponse struct {
+	Task         string  `json:"task"`
+	Epoch        uint64  `json:"epoch"`
+	AdmittedRate float64 `json:"admitted_rate"`
+	Path         string  `json:"path,omitempty"`
+	DNN          string  `json:"dnn,omitempty"`
+	LatencyMS    float64 `json:"latency_ms"`
+}
+
+// TaskStatus is one entry of GET /v1/tasks.
+type TaskStatus struct {
+	ID           string  `json:"id"`
+	Priority     float64 `json:"priority"`
+	Rate         float64 `json:"rate"`
+	Admitted     bool    `json:"admitted"`
+	AdmittedRate float64 `json:"admitted_rate"`
+	Path         string  `json:"path,omitempty"`
+	DNN          string  `json:"dnn,omitempty"`
+	LatencyMS    float64 `json:"latency_ms,omitempty"`
+}
+
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/tasks", s.handleRegister)
+	mux.HandleFunc("GET /v1/tasks", s.handleListTasks)
+	mux.HandleFunc("DELETE /v1/tasks/{id}", s.handleDeregister)
+	mux.HandleFunc("POST /v1/offload", s.handleOffload)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// retryAfter formats a Retry-After header value: whole seconds, at
+// least 1.
+func retryAfter(d time.Duration) string {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var spec TaskSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid task spec: %v", err)
+		return
+	}
+	if err := s.Register(spec.Task(), nil); err != nil {
+		if errors.Is(err, ErrExists) {
+			writeError(w, http.StatusConflict, "%v", err)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// 202: the task is registered; its admission verdict arrives with
+	// the next epoch, within the debounce window.
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"id":         spec.ID,
+		"status":     "pending",
+		"generation": s.reg.Generation(),
+	})
+}
+
+func (s *Server) handleDeregister(w http.ResponseWriter, r *http.Request) {
+	if err := s.Deregister(r.PathValue("id")); err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleListTasks(w http.ResponseWriter, r *http.Request) {
+	tasks, _, _ := s.reg.Snapshot()
+	ep := s.resolver.Current()
+	out := make([]TaskStatus, 0, len(tasks))
+	for _, t := range tasks {
+		st := TaskStatus{ID: t.ID, Priority: t.Priority, Rate: t.Rate}
+		if rate := ep.AdmittedRate(t.ID); rate > 0 {
+			st.Admitted = true
+			st.AdmittedRate = rate
+			if lat, ok := ep.PredictedLatency(t.ID); ok {
+				st.LatencyMS = float64(lat) / float64(time.Millisecond)
+			}
+			for i, a := range ep.Deployment.Solution.Assignments {
+				if ep.Tasks[i].ID == t.ID && a.Path != nil {
+					st.Path = a.Path.ID
+					st.DNN = a.Path.DNN
+					break
+				}
+			}
+		}
+		out = append(out, st)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleOffload(w http.ResponseWriter, r *http.Request) {
+	s.stats.requests.Add(1)
+	var req OffloadRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid offload request: %v", err)
+		return
+	}
+	if !s.reg.Has(req.Task) {
+		writeError(w, http.StatusNotFound, "task %q not registered", req.Task)
+		return
+	}
+	ep := s.resolver.Current()
+	gate := ep.Gate(req.Task)
+	if gate == nil {
+		// Registered but not admitted by the current epoch: either the
+		// re-solve is still pending (retry after the debounce window)
+		// or the solver rejected the task under current load.
+		s.stats.recordReject(req.Task)
+		w.Header().Set("Retry-After", retryAfter(s.cfg.Debounce))
+		writeError(w, http.StatusTooManyRequests, "task %q not admitted by current epoch", req.Task)
+		return
+	}
+	ok, wait := gate.Allow()
+	if !ok {
+		s.stats.recordReject(req.Task)
+		w.Header().Set("Retry-After", retryAfter(wait))
+		writeError(w, http.StatusTooManyRequests,
+			"task %q over its admitted rate %.3g req/s", req.Task, gate.Rate())
+		return
+	}
+	lat, _ := ep.PredictedLatency(req.Task)
+	s.stats.recordAdmit(req.Task, lat.Seconds())
+	resp := OffloadResponse{
+		Task:         req.Task,
+		Epoch:        ep.N,
+		AdmittedRate: ep.AdmittedRate(req.Task),
+		LatencyMS:    float64(lat) / float64(time.Millisecond),
+	}
+	for i, a := range ep.Deployment.Solution.Assignments {
+		if ep.Tasks[i].ID == req.Task && a.Path != nil {
+			resp.Path = a.Path.ID
+			resp.DNN = a.Path.DNN
+			break
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	ep := s.resolver.Current()
+	var epoch, epochGen uint64
+	if ep != nil {
+		epoch, epochGen = ep.N, ep.Generation
+	}
+	gen := s.reg.Generation()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"epoch":          epoch,
+		"generation":     gen,
+		"current":        ep != nil && epochGen == gen,
+		"tasks":          s.reg.Len(),
+		"uptime_seconds": s.cfg.Now().Sub(s.stats.start).Seconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	ep := s.resolver.Current()
+	var epoch uint64
+	if ep != nil {
+		epoch = ep.N
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprintf(w, "offloadnn_uptime_seconds %g\n", s.cfg.Now().Sub(s.stats.start).Seconds())
+	fmt.Fprintf(w, "offloadnn_tasks_registered %d\n", s.reg.Len())
+	fmt.Fprintf(w, "offloadnn_epoch %d\n", epoch)
+	fmt.Fprintf(w, "offloadnn_solves_total %d\n", s.stats.Solves())
+	fmt.Fprintf(w, "offloadnn_solve_errors_total %d\n", s.stats.SolveErrors())
+	fmt.Fprintf(w, "offloadnn_solve_duration_seconds %g\n", s.stats.LastSolveLatency().Seconds())
+	fmt.Fprintf(w, "offloadnn_offload_requests_total %d\n", s.stats.Requests())
+	for _, id := range s.stats.taskIDs() {
+		fmt.Fprintf(w, "offloadnn_offload_admitted_total{task=%q} %d\n", id, s.stats.Admitted(id))
+		fmt.Fprintf(w, "offloadnn_offload_rejected_total{task=%q} %d\n", id, s.stats.Rejected(id))
+	}
+	if ep != nil && ep.Deployment != nil {
+		for i := range ep.Tasks {
+			id := ep.Tasks[i].ID
+			if rate := ep.AdmittedRate(id); rate > 0 {
+				fmt.Fprintf(w, "offloadnn_admitted_rate{task=%q} %g\n", id, rate)
+			}
+		}
+	}
+	fmt.Fprintf(w, "offloadnn_latency_samples %d\n", s.stats.latency.Len())
+	if qs, err := s.stats.latency.Quantiles(50, 95, 99); err == nil {
+		for i, q := range []string{"0.5", "0.95", "0.99"} {
+			fmt.Fprintf(w, "offloadnn_latency_seconds{quantile=%q} %g\n", q, qs[i])
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"offloadnn/internal/core"
+	"offloadnn/internal/workload"
+)
+
+// ErrExists reports a registration under an ID already live.
+var ErrExists = errors.New("serve: task already registered")
+
+// ErrUnknownTask reports an operation on an ID that is not registered.
+var ErrUnknownTask = errors.New("serve: unknown task")
+
+// Registry is the daemon's concurrent-safe task table: the set of live
+// offloading requests the next epoch's DOT instance is assembled from,
+// plus the shared DNN-block catalog their candidate paths reference.
+// Every mutation bumps a generation counter so the re-solver can tell a
+// stale epoch from a current one.
+type Registry struct {
+	catalog workload.CatalogParams
+
+	mu     sync.Mutex
+	tasks  map[string]core.Task
+	order  []string // insertion order, for deterministic instance assembly
+	blocks map[string]core.BlockSpec
+	gen    uint64
+	seq    int // monotonic task index driving catalog accuracy jitter
+}
+
+// NewRegistry creates an empty registry whose HTTP-submitted tasks get
+// candidate paths built from the given catalog parameters.
+func NewRegistry(catalog workload.CatalogParams, blocks map[string]core.BlockSpec) *Registry {
+	r := &Registry{
+		catalog: catalog,
+		tasks:   make(map[string]core.Task),
+		blocks:  make(map[string]core.BlockSpec),
+	}
+	for id, b := range blocks {
+		r.blocks[id] = b
+	}
+	return r
+}
+
+// validateTask checks the request-side fields of a task.
+func validateTask(t *core.Task) error {
+	if t.ID == "" {
+		return fmt.Errorf("serve: task has empty ID")
+	}
+	if t.Priority < 0 || t.Priority > 1 {
+		return fmt.Errorf("serve: task %s priority %v outside [0,1]", t.ID, t.Priority)
+	}
+	if t.Rate <= 0 {
+		return fmt.Errorf("serve: task %s rate %v must be positive", t.ID, t.Rate)
+	}
+	if t.MinAccuracy < 0 || t.MinAccuracy > 1 {
+		return fmt.Errorf("serve: task %s accuracy floor %v outside [0,1]", t.ID, t.MinAccuracy)
+	}
+	if t.MaxLatency <= 0 {
+		return fmt.Errorf("serve: task %s latency bound %v must be positive", t.ID, t.MaxLatency)
+	}
+	if t.InputBits <= 0 {
+		return fmt.Errorf("serve: task %s input bits %v must be positive", t.ID, t.InputBits)
+	}
+	return nil
+}
+
+// Register adds a pre-built task, merging any blocks its paths reference
+// into the shared catalog. Tasks without paths get candidates built from
+// the registry's catalog parameters (the HTTP-submission route).
+func (r *Registry) Register(t core.Task, blocks map[string]core.BlockSpec) error {
+	if err := validateTask(&t); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.tasks[t.ID]; ok {
+		return fmt.Errorf("%w: %q", ErrExists, t.ID)
+	}
+	for id, b := range blocks {
+		if _, ok := r.blocks[id]; !ok {
+			r.blocks[id] = b
+		}
+	}
+	if len(t.Paths) == 0 {
+		t.Paths = r.catalog.BuildPaths(r.blocks, t.ID, r.seq)
+	}
+	for _, p := range t.Paths {
+		for _, b := range p.Blocks {
+			if _, ok := r.blocks[b]; !ok {
+				return fmt.Errorf("serve: task %s path %s references unknown block %q", t.ID, p.ID, b)
+			}
+		}
+	}
+	r.tasks[t.ID] = t
+	r.order = append(r.order, t.ID)
+	r.seq++
+	r.gen++
+	return nil
+}
+
+// Deregister removes a task. Removing an absent ID is an error so the
+// HTTP layer can answer 404.
+func (r *Registry) Deregister(id string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.tasks[id]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownTask, id)
+	}
+	delete(r.tasks, id)
+	for i, tid := range r.order {
+		if tid == id {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			break
+		}
+	}
+	r.gen++
+	return nil
+}
+
+// Has reports whether the ID is currently registered.
+func (r *Registry) Has(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.tasks[id]
+	return ok
+}
+
+// Len returns the number of live tasks.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.tasks)
+}
+
+// Generation returns the mutation counter.
+func (r *Registry) Generation() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.gen
+}
+
+// Snapshot copies out the live tasks (in registration order), the block
+// catalog and the generation the copy corresponds to. The copies are the
+// re-solver's: later registry mutations do not touch them.
+func (r *Registry) Snapshot() ([]core.Task, map[string]core.BlockSpec, uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	tasks := make([]core.Task, 0, len(r.order))
+	for _, id := range r.order {
+		tasks = append(tasks, r.tasks[id])
+	}
+	blocks := make(map[string]core.BlockSpec, len(r.blocks))
+	for id, b := range r.blocks {
+		blocks[id] = b
+	}
+	return tasks, blocks, r.gen
+}

@@ -1,0 +1,210 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"offloadnn/internal/core"
+	"offloadnn/internal/edge"
+)
+
+// Epoch is one installed pass of the Fig. 4 loop: the deployment the
+// controller produced for a snapshot of the registry, plus the admission
+// gates enforcing its notified rates. Epochs are immutable once
+// published; the request path reads whichever epoch is current through
+// an atomic pointer (RCU-style), so offloads never block on a re-solve
+// and a re-solve never waits for in-flight requests.
+type Epoch struct {
+	// N is the epoch sequence number, starting at 1.
+	N uint64
+	// Generation is the registry generation the epoch was solved from.
+	Generation uint64
+	// Tasks is the registry snapshot the solver saw, in registration
+	// order (parallel to Deployment.Solution.Assignments).
+	Tasks []core.Task
+	// Deployment is the admission outcome; nil when the registry was
+	// empty at solve time.
+	Deployment *edge.Deployment
+	// SolveLatency is how long the solve-and-deploy step took.
+	SolveLatency time.Duration
+
+	gates   map[string]*Gate
+	latency map[string]time.Duration
+}
+
+// Gate returns the admission gate for a task, or nil when the epoch does
+// not admit it (not registered at solve time, or rejected by the solver).
+func (e *Epoch) Gate(id string) *Gate {
+	if e == nil {
+		return nil
+	}
+	return e.gates[id]
+}
+
+// AdmittedRate returns the task's notified rate z·λ, zero when the epoch
+// does not admit it.
+func (e *Epoch) AdmittedRate(id string) float64 {
+	if e == nil || e.Deployment == nil {
+		return 0
+	}
+	return e.Deployment.AdmittedRates[id]
+}
+
+// PredictedLatency returns the planned end-to-end latency (slice
+// transmission at B(σ)·r plus path compute) for an admitted task.
+func (e *Epoch) PredictedLatency(id string) (time.Duration, bool) {
+	if e == nil {
+		return 0, false
+	}
+	d, ok := e.latency[id]
+	return d, ok
+}
+
+// Resolver owns the epoch lifecycle: it watches the registry for churn,
+// debounces it, re-runs the controller's admission round and atomically
+// publishes the resulting epoch. A kick during an in-flight solve is
+// retained, so the loop always converges onto the latest registry
+// generation.
+type Resolver struct {
+	reg      *Registry
+	ctrl     *edge.Controller
+	res      core.Resources
+	alpha    float64
+	debounce time.Duration
+	now      func() time.Time
+	logf     func(string, ...any)
+	stats    *Stats
+
+	cur  atomic.Pointer[Epoch]
+	kick chan struct{}
+	done chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+
+	// solveMu serializes epoch production (numbering + publication);
+	// readers never take it.
+	solveMu sync.Mutex
+	epochN  uint64
+}
+
+func newResolver(reg *Registry, ctrl *edge.Controller, res core.Resources, alpha float64,
+	debounce time.Duration, now func() time.Time, logf func(string, ...any), stats *Stats) *Resolver {
+	r := &Resolver{
+		reg:      reg,
+		ctrl:     ctrl,
+		res:      res,
+		alpha:    alpha,
+		debounce: debounce,
+		now:      now,
+		logf:     logf,
+		stats:    stats,
+		kick:     make(chan struct{}, 1),
+		done:     make(chan struct{}),
+	}
+	r.wg.Add(1)
+	go r.loop()
+	return r
+}
+
+// Current returns the published epoch, nil before the first solve.
+func (r *Resolver) Current() *Epoch { return r.cur.Load() }
+
+// Kick signals that the registry changed. Coalesces: kicks arriving
+// while one is pending fold into it.
+func (r *Resolver) Kick() {
+	select {
+	case r.kick <- struct{}{}:
+	default:
+	}
+}
+
+// Close stops the loop and waits for it to exit.
+func (r *Resolver) Close() {
+	r.once.Do(func() { close(r.done) })
+	r.wg.Wait()
+}
+
+// loop debounces churn into epochs: the first kick opens a batching
+// window of `debounce`; everything that arrives within it lands in the
+// same re-solve, and churn during the solve leaves a pending kick that
+// triggers the next round.
+func (r *Resolver) loop() {
+	defer r.wg.Done()
+	for {
+		select {
+		case <-r.done:
+			return
+		case <-r.kick:
+		}
+		t := time.NewTimer(r.debounce)
+		select {
+		case <-r.done:
+			t.Stop()
+			return
+		case <-t.C:
+		}
+		if err := r.ResolveNow(); err != nil && r.logf != nil {
+			r.logf("serve: epoch re-solve: %v", err)
+		}
+	}
+}
+
+// ResolveNow synchronously produces and publishes an epoch for the
+// current registry state. It is a no-op when the published epoch already
+// matches the registry generation. On solver error the previous epoch
+// stays in place (requests keep being served under the old plan) and the
+// error is returned.
+func (r *Resolver) ResolveNow() error { return r.resolve(false) }
+
+// ForceResolve re-solves and republishes even when the published epoch
+// is current — the serving-path cost benchmarks measure this.
+func (r *Resolver) ForceResolve() error { return r.resolve(true) }
+
+func (r *Resolver) resolve(force bool) error {
+	r.solveMu.Lock()
+	defer r.solveMu.Unlock()
+	tasks, blocks, gen := r.reg.Snapshot()
+	if cur := r.cur.Load(); !force && cur != nil && cur.Generation == gen {
+		return nil
+	}
+	start := time.Now()
+	ep := &Epoch{
+		Generation: gen,
+		Tasks:      tasks,
+		gates:      make(map[string]*Gate),
+		latency:    make(map[string]time.Duration),
+	}
+	if len(tasks) > 0 {
+		dep, err := r.ctrl.Admit(tasks, blocks, r.alpha)
+		if err != nil {
+			r.stats.solveErrors.Add(1)
+			return err
+		}
+		ep.Deployment = dep
+		for i, a := range dep.Solution.Assignments {
+			if !a.Admitted() {
+				continue
+			}
+			task := &tasks[i]
+			ep.gates[a.TaskID] = NewGate(dep.AdmittedRates[a.TaskID], r.now)
+			proc := 0.0
+			for _, b := range a.Path.Blocks {
+				proc += blocks[b].ComputeSeconds
+			}
+			perRB := r.res.Capacity.BitsPerRBPerSecond(task.SNRdB)
+			tx := 0.0
+			if perRB > 0 && a.RBs > 0 {
+				tx = a.Bits(task) / (perRB * float64(a.RBs))
+			}
+			ep.latency[a.TaskID] = time.Duration((tx + proc) * float64(time.Second))
+		}
+	}
+	ep.SolveLatency = time.Since(start)
+	r.epochN++
+	ep.N = r.epochN
+	r.cur.Store(ep)
+	r.stats.solves.Add(1)
+	r.stats.lastSolveNanos.Store(int64(ep.SolveLatency))
+	return nil
+}

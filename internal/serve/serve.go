@@ -1,0 +1,150 @@
+// Package serve turns the one-shot OffloaDNN reproduction into an online
+// edge-serving subsystem: a long-running daemon that accepts task
+// registrations over HTTP, continuously re-optimizes the DOT admission
+// plan as tasks come and go, and enforces the solved admission ratios on
+// the live offload path.
+//
+// The design maps the paper's Fig. 4 workflow onto a serving loop:
+//
+//	admission request  → Registry (concurrent-safe task table)
+//	DOT solve          → Resolver (debounced epoch re-solve on churn)
+//	slice/compute      → edge.Controller.Admit (reused unchanged)
+//	deployment         → Epoch published via atomic.Pointer (RCU-style)
+//	rate notification  → Gate (token bucket at z·λ, 429 beyond it)
+//
+// Requests read the current epoch without locking; re-solves publish a
+// fresh immutable epoch and never block the request path. Over-rate
+// traffic is rejected with Retry-After — graceful degradation, never an
+// unbounded queue.
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"offloadnn/internal/core"
+	"offloadnn/internal/edge"
+	"offloadnn/internal/workload"
+)
+
+// Config parameterizes a serving daemon.
+type Config struct {
+	// Res is the edge/radio capacity pool every epoch is solved against.
+	Res core.Resources
+	// Alpha weights admission against resource cost (DOT objective).
+	Alpha float64
+	// Catalog builds candidate paths for tasks submitted without any
+	// (the HTTP route). Zero value: the Table-IV small catalog.
+	Catalog workload.CatalogParams
+	// Blocks optionally pre-seeds the shared block catalog.
+	Blocks map[string]core.BlockSpec
+	// Debounce is the churn batching window before a re-solve
+	// (default 100 ms).
+	Debounce time.Duration
+	// Window is the latency-quantile window size in samples
+	// (default 1024).
+	Window int
+	// Now is the clock used by the admission gates and uptime
+	// (default time.Now); injectable for deterministic tests.
+	Now func() time.Time
+	// Solve optionally overrides the solver strategy (default
+	// core.SolveOffloaDNN).
+	Solve func(*core.Instance) (*core.Solution, error)
+	// Logf, when set, receives re-solve failures and other background
+	// diagnostics (e.g. log.Printf). Nil discards them.
+	Logf func(string, ...any)
+}
+
+// Server is the serving daemon: registry + resolver + HTTP surface.
+// Create it with New, serve its Handler, and Close it to stop the
+// re-solver.
+type Server struct {
+	cfg      Config
+	reg      *Registry
+	resolver *Resolver
+	stats    *Stats
+	mux      *http.ServeMux
+}
+
+// New validates the configuration and starts the epoch re-solver.
+func New(cfg Config) (*Server, error) {
+	if cfg.Res.Capacity == nil {
+		return nil, fmt.Errorf("serve: config needs a radio capacity model")
+	}
+	if cfg.Res.TrainBudgetSeconds <= 0 {
+		return nil, fmt.Errorf("serve: train budget must be positive, got %v", cfg.Res.TrainBudgetSeconds)
+	}
+	if cfg.Alpha < 0 || cfg.Alpha > 1 {
+		return nil, fmt.Errorf("serve: alpha %v outside [0,1]", cfg.Alpha)
+	}
+	if cfg.Debounce <= 0 {
+		cfg.Debounce = 100 * time.Millisecond
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 1024
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.Catalog.NumDNNs == 0 {
+		cfg.Catalog = workload.SmallCatalogParams()
+	}
+	ctrl := edge.NewController(cfg.Res)
+	if cfg.Solve != nil {
+		ctrl.Solve = cfg.Solve
+	}
+	s := &Server{
+		cfg:   cfg,
+		reg:   NewRegistry(cfg.Catalog, cfg.Blocks),
+		stats: newStats(cfg.Window, cfg.Now()),
+	}
+	s.resolver = newResolver(s.reg, ctrl, cfg.Res, cfg.Alpha, cfg.Debounce, cfg.Now, cfg.Logf, s.stats)
+	s.mux = s.routes()
+	return s, nil
+}
+
+// Close stops the background re-solver. In-flight HTTP requests keep
+// serving off the last published epoch.
+func (s *Server) Close() { s.resolver.Close() }
+
+// Register adds a task (kicking a debounced re-solve). Tasks without
+// candidate paths get them built from the configured catalog; pre-built
+// tasks may bring their referenced blocks along.
+func (s *Server) Register(t core.Task, blocks map[string]core.BlockSpec) error {
+	if err := s.reg.Register(t, blocks); err != nil {
+		return err
+	}
+	s.resolver.Kick()
+	return nil
+}
+
+// Deregister withdraws a task (kicking a debounced re-solve).
+func (s *Server) Deregister(id string) error {
+	if err := s.reg.Deregister(id); err != nil {
+		return err
+	}
+	s.resolver.Kick()
+	return nil
+}
+
+// ResolveNow synchronously brings the published epoch up to date with
+// the registry, bypassing the debounce (used at daemon startup and in
+// tests). It is a no-op when the epoch is already current.
+func (s *Server) ResolveNow() error { return s.resolver.ResolveNow() }
+
+// ForceResolve re-solves and republishes unconditionally (the epoch
+// benchmark's entry point).
+func (s *Server) ForceResolve() error { return s.resolver.ForceResolve() }
+
+// Current returns the published epoch, nil before the first solve.
+func (s *Server) Current() *Epoch { return s.resolver.Current() }
+
+// Registry exposes the task table.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Stats exposes the live counters.
+func (s *Server) Stats() *Stats { return s.stats }
+
+// ServeHTTP implements http.Handler over the daemon's API surface.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }

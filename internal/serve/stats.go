@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"offloadnn/internal/metrics"
+)
+
+// taskCounters tallies the offload verdicts of one task.
+type taskCounters struct {
+	admitted atomic.Uint64
+	rejected atomic.Uint64
+}
+
+// Stats aggregates the daemon's live counters: request totals, per-task
+// admit/reject verdicts, solve bookkeeping and the end-to-end latency
+// window backing the exported p50/p95/p99.
+type Stats struct {
+	start          time.Time
+	requests       atomic.Uint64
+	solves         atomic.Uint64
+	solveErrors    atomic.Uint64
+	lastSolveNanos atomic.Int64
+	latency        *metrics.Window
+
+	mu      sync.Mutex
+	perTask map[string]*taskCounters
+}
+
+func newStats(window int, start time.Time) *Stats {
+	return &Stats{
+		start:   start,
+		latency: metrics.NewWindow(window),
+		perTask: make(map[string]*taskCounters),
+	}
+}
+
+func (s *Stats) task(id string) *taskCounters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.perTask[id]
+	if !ok {
+		c = &taskCounters{}
+		s.perTask[id] = c
+	}
+	return c
+}
+
+// recordAdmit counts an admitted offload and folds its end-to-end
+// latency (seconds) into the quantile window.
+func (s *Stats) recordAdmit(id string, latencySeconds float64) {
+	s.task(id).admitted.Add(1)
+	s.latency.Add(latencySeconds)
+}
+
+// recordReject counts a rate-rejected offload.
+func (s *Stats) recordReject(id string) {
+	s.task(id).rejected.Add(1)
+}
+
+// taskIDs returns the IDs with counters, sorted for deterministic
+// rendering.
+func (s *Stats) taskIDs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]string, 0, len(s.perTask))
+	for id := range s.perTask {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Requests returns the total offload requests seen.
+func (s *Stats) Requests() uint64 { return s.requests.Load() }
+
+// Solves returns the number of published epochs.
+func (s *Stats) Solves() uint64 { return s.solves.Load() }
+
+// SolveErrors returns the number of failed re-solves.
+func (s *Stats) SolveErrors() uint64 { return s.solveErrors.Load() }
+
+// LastSolveLatency returns the duration of the most recent solve.
+func (s *Stats) LastSolveLatency() time.Duration {
+	return time.Duration(s.lastSolveNanos.Load())
+}
+
+// Admitted returns a task's admitted-offload count.
+func (s *Stats) Admitted(id string) uint64 { return s.task(id).admitted.Load() }
+
+// Rejected returns a task's rate-rejected offload count.
+func (s *Stats) Rejected(id string) uint64 { return s.task(id).rejected.Load() }
+
+// Latency exposes the end-to-end latency window (seconds).
+func (s *Stats) Latency() *metrics.Window { return s.latency }

@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"offloadnn/internal/core"
+)
+
+// ChurnKind distinguishes task arrivals from departures in a serving
+// timeline.
+type ChurnKind int
+
+// Churn event kinds.
+const (
+	// ChurnRegister submits the task to the serving daemon.
+	ChurnRegister ChurnKind = iota
+	// ChurnDeregister withdraws it.
+	ChurnDeregister
+)
+
+// String implements fmt.Stringer.
+func (k ChurnKind) String() string {
+	switch k {
+	case ChurnRegister:
+		return "register"
+	case ChurnDeregister:
+		return "deregister"
+	default:
+		return fmt.Sprintf("churn(%d)", int(k))
+	}
+}
+
+// ChurnEvent is one arrival or departure in a dynamic serving timeline.
+type ChurnEvent struct {
+	// At is the event offset from the start of the run.
+	At time.Duration
+	// Kind is register or deregister.
+	Kind ChurnKind
+	// Task carries the full request fields for registrations; for
+	// deregistrations only the ID is meaningful.
+	Task core.Task
+}
+
+// ChurnParams parameterizes a churn timeline.
+type ChurnParams struct {
+	// Tasks is how many of the five Table-IV small-scenario tasks
+	// participate (1..5).
+	Tasks int
+	// Duration is the run length the events are scheduled within.
+	Duration time.Duration
+	// Seed drives the deterministic departure/return jitter.
+	Seed int64
+}
+
+// ChurnTimeline derives a deterministic register/deregister schedule over
+// the Table-IV small-scenario task set, the dynamic-workload counterpart
+// of the paper's one-shot admission round: all tasks arrive staggered at
+// the start, most depart mid-run, and some return toward the end — each
+// transition forcing the serving daemon through another epoch of the
+// Fig. 4 loop. Events are sorted by time; a task's deregistration always
+// follows its registration. The same params always yield the same
+// timeline.
+func ChurnTimeline(p ChurnParams) ([]ChurnEvent, error) {
+	if p.Tasks < 1 || p.Tasks > 5 {
+		return nil, fmt.Errorf("workload: churn timeline supports 1..5 tasks, got %d", p.Tasks)
+	}
+	if p.Duration <= 0 {
+		return nil, fmt.Errorf("workload: churn duration %v must be positive", p.Duration)
+	}
+	var events []ChurnEvent
+	for i := 1; i <= p.Tasks; i++ {
+		task, err := SmallTask(i)
+		if err != nil {
+			return nil, err
+		}
+		// Staggered arrival in the first 10% of the run.
+		arrive := time.Duration(float64(i-1) / float64(p.Tasks) * 0.1 * float64(p.Duration))
+		events = append(events, ChurnEvent{At: arrive, Kind: ChurnRegister, Task: task})
+		// ~80% of tasks depart mid-run (35–60% of the duration).
+		if hash64(p.Seed, int64(i), 1) >= 0.8 {
+			continue
+		}
+		depart := time.Duration((0.35 + 0.25*hash64(p.Seed, int64(i), 2)) * float64(p.Duration))
+		events = append(events, ChurnEvent{At: depart, Kind: ChurnDeregister, Task: core.Task{ID: task.ID}})
+		// ~60% of departed tasks return late (70–90% of the duration).
+		if hash64(p.Seed, int64(i), 3) >= 0.6 {
+			continue
+		}
+		back := time.Duration((0.7 + 0.2*hash64(p.Seed, int64(i), 4)) * float64(p.Duration))
+		events = append(events, ChurnEvent{At: back, Kind: ChurnRegister, Task: task})
+	}
+	sort.SliceStable(events, func(a, b int) bool { return events[a].At < events[b].At })
+	return events, nil
+}

@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+func TestChurnTimelineShape(t *testing.T) {
+	events, err := ChurnTimeline(ChurnParams{Tasks: 5, Duration: 10 * time.Second, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) < 5 {
+		t.Fatalf("got %d events, want at least the 5 initial registrations", len(events))
+	}
+	registered := make(map[string]bool)
+	registrations := 0
+	for i, e := range events {
+		if e.At < 0 || e.At > 10*time.Second {
+			t.Fatalf("event %d at %v outside [0, 10s]", i, e.At)
+		}
+		if i > 0 && e.At < events[i-1].At {
+			t.Fatalf("events not sorted: %v after %v", e.At, events[i-1].At)
+		}
+		switch e.Kind {
+		case ChurnRegister:
+			if registered[e.Task.ID] {
+				t.Fatalf("event %d re-registers live task %s", i, e.Task.ID)
+			}
+			if e.Task.Rate <= 0 || e.Task.MaxLatency <= 0 {
+				t.Fatalf("registration %d carries incomplete task %+v", i, e.Task)
+			}
+			registered[e.Task.ID] = true
+			registrations++
+		case ChurnDeregister:
+			if !registered[e.Task.ID] {
+				t.Fatalf("event %d deregisters task %s before registration", i, e.Task.ID)
+			}
+			registered[e.Task.ID] = false
+		default:
+			t.Fatalf("event %d has unknown kind %v", i, e.Kind)
+		}
+	}
+	if registrations < 5 {
+		t.Fatalf("got %d registrations, want ≥ 5", registrations)
+	}
+}
+
+func TestChurnTimelineDeterministic(t *testing.T) {
+	p := ChurnParams{Tasks: 4, Duration: time.Minute, Seed: 7}
+	a, err := ChurnTimeline(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ChurnTimeline(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].At != b[i].At || a[i].Kind != b[i].Kind || a[i].Task.ID != b[i].Task.ID {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestChurnTimelineRejectsBadParams(t *testing.T) {
+	if _, err := ChurnTimeline(ChurnParams{Tasks: 0, Duration: time.Second}); err == nil {
+		t.Fatal("Tasks=0 accepted")
+	}
+	if _, err := ChurnTimeline(ChurnParams{Tasks: 6, Duration: time.Second}); err == nil {
+		t.Fatal("Tasks=6 accepted")
+	}
+	if _, err := ChurnTimeline(ChurnParams{Tasks: 3, Duration: 0}); err == nil {
+		t.Fatal("Duration=0 accepted")
+	}
+}
+
+func TestSmallTaskMatchesScenario(t *testing.T) {
+	in, err := SmallScenario(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		task, err := SmallTask(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := in.Tasks[i-1]
+		if task.ID != ref.ID || task.Priority != ref.Priority || task.Rate != ref.Rate ||
+			task.MinAccuracy != ref.MinAccuracy || task.MaxLatency != ref.MaxLatency ||
+			task.InputBits != ref.InputBits || task.SNRdB != ref.SNRdB {
+			t.Fatalf("SmallTask(%d) = %+v, scenario task = %+v", i, task, ref)
+		}
+	}
+	if _, err := SmallTask(0); err == nil {
+		t.Fatal("SmallTask(0) accepted")
+	}
+}

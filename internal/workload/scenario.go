@@ -46,6 +46,29 @@ func (l Load) Rate() (float64, error) {
 	}
 }
 
+// SmallTask returns the Table-IV small-scenario task τ = t (1-based,
+// t ∈ 1..5) without candidate paths: λ = 5 req/s, A_τ ∈ [0.9..0.5],
+// L_τ ∈ [200..600] ms, p_τ ∈ [0.8..0.4], β = 350 Kb, σ = 20 dB. These
+// are the request-side fields a UE submits to the serving daemon, which
+// builds the candidate paths from its own DNN catalog.
+func SmallTask(t int) (core.Task, error) {
+	if t < 1 || t > 5 {
+		return core.Task{}, fmt.Errorf("workload: small task index %d outside 1..5", t)
+	}
+	accuracies := []float64{0.9, 0.8, 0.7, 0.6, 0.5}
+	latencies := []time.Duration{200, 300, 400, 500, 600}
+	priorities := []float64{0.8, 0.7, 0.6, 0.5, 0.4}
+	return core.Task{
+		ID:          fmt.Sprintf("task-%d", t),
+		Priority:    priorities[t-1],
+		Rate:        5,
+		MinAccuracy: accuracies[t-1],
+		MaxLatency:  latencies[t-1] * time.Millisecond,
+		InputBits:   350e3,
+		SNRdB:       20,
+	}, nil
+}
+
 // SmallScenario builds the Table-IV small-scale instance with the first T
 // of the five tasks (T ∈ 1..5): λ = 5 req/s, A = [0.9, 0.8, 0.7, 0.6,
 // 0.5], L = [200..600] ms, p = [0.8..0.4], R = 50 RBs, C = 2.5 s, M = 8
@@ -66,21 +89,13 @@ func SmallScenario(tasks int) (*core.Instance, error) {
 		},
 		Alpha: 0.5,
 	}
-	accuracies := []float64{0.9, 0.8, 0.7, 0.6, 0.5}
-	latencies := []time.Duration{200, 300, 400, 500, 600}
-	priorities := []float64{0.8, 0.7, 0.6, 0.5, 0.4}
 	for t := 0; t < tasks; t++ {
-		id := fmt.Sprintf("task-%d", t+1)
-		in.Tasks = append(in.Tasks, core.Task{
-			ID:          id,
-			Priority:    priorities[t],
-			Rate:        5,
-			MinAccuracy: accuracies[t],
-			MaxLatency:  latencies[t] * time.Millisecond,
-			InputBits:   350e3,
-			SNRdB:       20,
-			Paths:       params.BuildPaths(in.Blocks, id, t),
-		})
+		task, err := SmallTask(t + 1)
+		if err != nil {
+			return nil, err
+		}
+		task.Paths = params.BuildPaths(in.Blocks, task.ID, t)
+		in.Tasks = append(in.Tasks, task)
 	}
 	if err := in.Validate(); err != nil {
 		return nil, fmt.Errorf("workload: small scenario: %w", err)

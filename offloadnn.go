@@ -27,6 +27,7 @@ import (
 	"offloadnn/internal/experiments"
 	"offloadnn/internal/radio"
 	"offloadnn/internal/semoran"
+	"offloadnn/internal/serve"
 	"offloadnn/internal/workload"
 )
 
@@ -199,6 +200,30 @@ func HeterogeneousScenario(load Load) (*Instance, error) {
 // NewRepository creates a DNN repository; dir may be empty for a
 // memory-only store.
 func NewRepository(dir string) *Repository { return edge.NewRepository(dir) }
+
+// Online serving types (the edgeserve daemon as a library).
+type (
+	// EdgeServer is the online serving daemon: task registry, debounced
+	// epoch re-solver with atomic deployment swap, token-bucket admission
+	// gates at z·λ, and an HTTP API (tasks, offload, healthz, metrics).
+	EdgeServer = serve.Server
+	// EdgeServerConfig parameterizes an EdgeServer.
+	EdgeServerConfig = serve.Config
+	// ServingEpoch is one published pass of the Fig. 4 loop.
+	ServingEpoch = serve.Epoch
+	// ChurnEvent is one task arrival/departure in a serving timeline.
+	ChurnEvent = workload.ChurnEvent
+	// ChurnParams parameterizes ChurnTimeline.
+	ChurnParams = workload.ChurnParams
+)
+
+// NewEdgeServer starts a serving daemon (its epoch re-solver goroutine
+// runs until Close). Serve it with net/http: it implements http.Handler.
+func NewEdgeServer(cfg EdgeServerConfig) (*EdgeServer, error) { return serve.New(cfg) }
+
+// ChurnTimeline derives a deterministic register/deregister schedule
+// over the Table-IV small-scenario tasks for driving an EdgeServer.
+func ChurnTimeline(p ChurnParams) ([]ChurnEvent, error) { return workload.ChurnTimeline(p) }
 
 // SolveOptimalParallel is the exhaustive solver with the first tree layer
 // fanned out over a bounded worker pool (workers ≤ 0 = NumCPU).
