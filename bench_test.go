@@ -7,6 +7,7 @@ package offloadnn
 // bottom characterize the pieces the figures are built from.
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -306,7 +307,9 @@ func BenchmarkSolveHeterogeneousLarge(b *testing.B) {
 
 // BenchmarkEpochResolve times one serving-path epoch: a full DOT solve
 // over the 20-task large scenario plus the atomic deployment swap the
-// edgeserve daemon performs on every churn batch.
+// edgeserve daemon performs on every churn batch. Solve is pinned to the
+// plain heuristic so this stays the non-incremental baseline (the default
+// config would route through the SolverSession).
 func BenchmarkEpochResolve(b *testing.B) {
 	in, err := workload.LargeScenario(workload.LoadHigh)
 	if err != nil {
@@ -316,6 +319,7 @@ func BenchmarkEpochResolve(b *testing.B) {
 		Res:      in.Res,
 		Alpha:    in.Alpha,
 		Debounce: time.Hour, // keep the background loop out of the measurement
+		Solve:    core.SolveOffloaDNN,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -332,6 +336,71 @@ func BenchmarkEpochResolve(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// churnBench prepares the single-task churn scenario the incremental
+// benchmarks share: the 20-task high-load large instance, with task-20
+// alternately withdrawn and re-registered every epoch.
+func churnBench(b *testing.B) (*core.Instance, core.Task) {
+	b.Helper()
+	in, err := workload.LargeScenario(workload.LoadHigh)
+	if err != nil {
+		b.Fatal(err)
+	}
+	churn := in.Tasks[len(in.Tasks)-1]
+	return in, churn
+}
+
+// BenchmarkIncrementalChurn times one epoch of the incremental solver
+// under single-task churn over the 20-task large scenario: each iteration
+// removes or re-adds task-20 and re-solves through the SolverSession, so
+// 19 of 20 cliques come from the cache and surviving tasks warm-start
+// their allocations. Compare against BenchmarkFullResolveChurn (same
+// churn, from-scratch solves) and BenchmarkEpochResolve (full
+// serving-path epoch).
+func BenchmarkIncrementalChurn(b *testing.B) {
+	in, churn := churnBench(b)
+	sess, err := core.NewSolverSession(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := sess.Resolve(ctx, core.TaskDelta{}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var delta core.TaskDelta
+		if i%2 == 0 {
+			delta.Remove = []string{churn.ID}
+		} else {
+			delta.Add = []core.Task{churn}
+		}
+		if _, err := sess.Resolve(ctx, delta); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFullResolveChurn is the from-scratch baseline for
+// BenchmarkIncrementalChurn: identical single-task churn, but every epoch
+// re-solves the whole instance with SolveOffloaDNN.
+func BenchmarkFullResolveChurn(b *testing.B) {
+	in, _ := churnBench(b)
+	with := in.Tasks
+	without := append([]core.Task(nil), in.Tasks[:len(in.Tasks)-1]...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%2 == 0 {
+			in.Tasks = without
+		} else {
+			in.Tasks = with
+		}
+		if _, err := core.SolveOffloaDNN(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+	in.Tasks = with
 }
 
 // BenchmarkSolveOptimalParallelT4 times the parallel exhaustive solver at

@@ -1,0 +1,380 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// TaskDelta describes the churn applied to a SolverSession between two
+// epochs: tasks to add, tasks to remove, request-rate updates, and any
+// new blocks the added tasks' paths reference. The zero value re-solves
+// the unchanged task set.
+type TaskDelta struct {
+	// Add are tasks to register, appended to the session's task list in
+	// order. Their paths may only reference blocks already in the session
+	// catalog or carried in AddBlocks.
+	Add []Task
+	// AddBlocks merges block specs into the session catalog. Re-supplying
+	// an existing block with an identical spec is a no-op; supplying a
+	// different spec updates the catalog and invalidates exactly the
+	// cached cliques that reference the block.
+	AddBlocks map[string]BlockSpec
+	// Remove lists task IDs to withdraw. Removing an unknown ID is an
+	// error, so callers catch registry/session drift immediately.
+	Remove []string
+	// Rate maps task ID → new request rate λ. The rate enters only the
+	// allocation subproblem, so a rate-only delta invalidates no cached
+	// cliques at all.
+	Rate map[string]float64
+}
+
+// Empty reports whether the delta carries no changes.
+func (d *TaskDelta) Empty() bool {
+	return len(d.Add) == 0 && len(d.AddBlocks) == 0 && len(d.Remove) == 0 && len(d.Rate) == 0
+}
+
+// SessionStats reports the incremental machinery's work, cumulatively
+// over the session's lifetime.
+type SessionStats struct {
+	// Epochs counts successful Resolve calls.
+	Epochs uint64
+	// CliqueHits counts cliques served from the cache across epochs.
+	CliqueHits uint64
+	// CliqueMisses counts cliques (re)built.
+	CliqueMisses uint64
+	// WarmStarts counts tasks whose allocation was warm-started from a
+	// previous epoch's converged (z, r).
+	WarmStarts uint64
+}
+
+// allocHint is the per-task warm-start state retained between epochs: the
+// converged allocation of the last epoch, keyed to the decision (path ×
+// quality) it was solved for. The hint applies only when the new epoch's
+// first-branch walk picks the same decision again.
+type allocHint struct {
+	dnn     string
+	pathID  string
+	quality string
+	z       float64
+	r       int
+}
+
+// qualityKey identifies a vertex's quality level for hint matching.
+func qualityKey(q *QualityLevel) string {
+	if q == nil {
+		return ""
+	}
+	return q.ID
+}
+
+// SolverSession is an incremental OffloaDNN solver for the serving loop's
+// hot path: it caches the layered weighted tree across epochs, feeds on
+// task deltas instead of whole instances, invalidates only the cliques a
+// delta touches, tracks block-sharing deployment memory by refcount, and
+// warm-starts the per-branch convex allocation from the previous epoch's
+// converged (z, r).
+//
+// A session is not safe for concurrent use; serialize Resolve calls (the
+// serve resolver does so under its solve mutex).
+type SolverSession struct {
+	inst  *Instance
+	index map[string]int // task ID → position in inst.Tasks
+	cache *treeCache
+	hints map[string]allocHint
+	// refcount counts, per deployed block, the admitted tasks whose
+	// selected path uses it — the block-sharing accounting of the last
+	// epoch. deployedGB is maintained incrementally: it changes only when
+	// a block's refcount crosses zero.
+	refcount   map[string]int
+	deployedGB float64
+	stats      SessionStats
+}
+
+// NewSolverSession validates the instance and prepares an incremental
+// session over a private copy of its task list and block catalog. The
+// task structs are copied; their Paths/Qualities backing arrays are
+// shared and must not be mutated by the caller afterwards. No solve
+// happens until the first Resolve.
+func NewSolverSession(in *Instance) (*SolverSession, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	inst := &Instance{
+		Tasks:  append([]Task(nil), in.Tasks...),
+		Blocks: make(map[string]BlockSpec, len(in.Blocks)),
+		Res:    in.Res,
+		Alpha:  in.Alpha,
+	}
+	for id, b := range in.Blocks {
+		inst.Blocks[id] = b
+	}
+	if in.Predeployed != nil {
+		inst.Predeployed = make(map[string]bool, len(in.Predeployed))
+		for id, v := range in.Predeployed {
+			inst.Predeployed[id] = v
+		}
+	}
+	s := &SolverSession{
+		inst:     inst,
+		index:    make(map[string]int, len(inst.Tasks)),
+		cache:    newTreeCache(),
+		hints:    make(map[string]allocHint),
+		refcount: make(map[string]int),
+	}
+	s.reindex()
+	return s, nil
+}
+
+// reindex rebuilds the ID → position map after a membership change.
+func (s *SolverSession) reindex() {
+	clear(s.index)
+	for i := range s.inst.Tasks {
+		s.index[s.inst.Tasks[i].ID] = i
+	}
+}
+
+// Tasks returns a copy of the session's live task list, in the order the
+// solver sees it (registration order; ties in priority break by it).
+func (s *SolverSession) Tasks() []Task {
+	return append([]Task(nil), s.inst.Tasks...)
+}
+
+// Instance returns the session's live instance for read-only use (e.g.,
+// checking a solution or building a deployment). Mutating it corrupts
+// the clique cache.
+func (s *SolverSession) Instance() *Instance { return s.inst }
+
+// Stats returns the cumulative incremental-machinery counters.
+func (s *SolverSession) Stats() SessionStats {
+	st := s.stats
+	st.CliqueHits = s.cache.hits
+	st.CliqueMisses = s.cache.misses
+	return st
+}
+
+// DeployedMemoryGB returns the refcount-tracked memory of the blocks
+// deployed by the last epoch's admitted tasks. It equals the last
+// solution's Breakdown.MemoryGB, maintained incrementally: only blocks
+// whose refcount crossed zero were re-accounted.
+func (s *SolverSession) DeployedMemoryGB() float64 { return s.deployedGB }
+
+// apply folds a delta into the session state, invalidating exactly the
+// cached cliques the delta touches. It validates before mutating, so a
+// rejected delta leaves the session unchanged.
+func (s *SolverSession) apply(delta TaskDelta) error {
+	// Validate removals and rate updates against the live set.
+	removed := make(map[string]bool, len(delta.Remove))
+	for _, id := range delta.Remove {
+		if _, ok := s.index[id]; !ok {
+			return fmt.Errorf("%w: remove of unknown task %q", ErrModel, id)
+		}
+		if removed[id] {
+			return fmt.Errorf("%w: task %q removed twice in one delta", ErrModel, id)
+		}
+		removed[id] = true
+	}
+	addIDs := make(map[string]bool, len(delta.Add))
+	for i := range delta.Add {
+		t := &delta.Add[i]
+		if t.ID == "" {
+			return fmt.Errorf("%w: added task has empty ID", ErrModel)
+		}
+		if _, live := s.index[t.ID]; live && !removed[t.ID] {
+			return fmt.Errorf("%w: added task %q already registered", ErrModel, t.ID)
+		}
+		if addIDs[t.ID] {
+			return fmt.Errorf("%w: task %q added twice in one delta", ErrModel, t.ID)
+		}
+		addIDs[t.ID] = true
+	}
+	for id, rate := range delta.Rate {
+		if _, ok := s.index[id]; (!ok || removed[id]) && !addIDs[id] {
+			return fmt.Errorf("%w: rate update for unknown task %q", ErrModel, id)
+		}
+		if rate <= 0 {
+			return fmt.Errorf("%w: task %s rate %v must be positive", ErrModel, id, rate)
+		}
+	}
+
+	// Merge blocks, invalidating cliques referencing re-specified ones.
+	for id, spec := range delta.AddBlocks {
+		if spec.ID != id {
+			return fmt.Errorf("%w: block map key %q does not match ID %q", ErrModel, id, spec.ID)
+		}
+		if spec.ComputeSeconds < 0 || spec.MemoryGB < 0 || spec.TrainSeconds < 0 {
+			return fmt.Errorf("%w: block %s has negative cost", ErrModel, id)
+		}
+		if prev, ok := s.inst.Blocks[id]; ok {
+			if prev == spec {
+				continue
+			}
+			s.cache.invalidateBlock(id)
+		}
+		s.inst.Blocks[id] = spec
+	}
+
+	// Validate added tasks against the merged catalog (field ranges and
+	// block references) before touching the task list.
+	for i := range delta.Add {
+		if err := s.inst.validateTask(&delta.Add[i]); err != nil {
+			return err
+		}
+	}
+
+	if len(removed) > 0 {
+		kept := s.inst.Tasks[:0]
+		for i := range s.inst.Tasks {
+			if removed[s.inst.Tasks[i].ID] {
+				continue
+			}
+			kept = append(kept, s.inst.Tasks[i])
+		}
+		s.inst.Tasks = kept
+		for id := range removed {
+			s.cache.invalidateTask(id)
+			delete(s.hints, id)
+		}
+	}
+	for i := range delta.Add {
+		t := delta.Add[i]
+		s.inst.Tasks = append(s.inst.Tasks, t)
+		// A re-added ID must not inherit stale cache or hints from its
+		// previous life.
+		s.cache.invalidateTask(t.ID)
+		delete(s.hints, t.ID)
+	}
+	if len(removed) > 0 || len(delta.Add) > 0 {
+		s.reindex()
+	}
+	for id, rate := range delta.Rate {
+		s.inst.Tasks[s.index[id]].Rate = rate
+		// The cached clique survives (λ does not enter the tree), but the
+		// warm-start hint does not: the alternation's analytic initial
+		// point moves with the rate, so resuming at the old converged r
+		// would no longer retrace the from-scratch iterate sequence.
+		delete(s.hints, id)
+	}
+	return nil
+}
+
+// Resolve folds the delta into the session and re-solves the OffloaDNN
+// heuristic incrementally: layers are assembled from cached cliques
+// (rebuilding only invalidated ones), the first-branch walk re-runs over
+// them, and the per-branch convex allocation is warm-started from the
+// previous epoch's converged (z, r) for every task whose selected
+// decision is unchanged. The result is the same solution
+// SolveOffloaDNN computes from scratch on the equivalent instance.
+//
+// On a delta validation error the session is unchanged; on a solver
+// error the delta remains applied (the session tracks the registry, the
+// caller keeps serving its previous epoch).
+func (s *SolverSession) Resolve(ctx context.Context, delta TaskDelta) (*Solution, error) {
+	start := time.Now()
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	if err := s.apply(delta); err != nil {
+		return nil, err
+	}
+	if len(s.inst.Tasks) == 0 {
+		return nil, fmt.Errorf("%w: no tasks", ErrModel)
+	}
+
+	// First-branch walk over cached cliques, in priority-layer order.
+	order := priorityOrder(s.inst)
+	state := newBranchState(s.inst)
+	assignments := make([]Assignment, len(s.inst.Tasks))
+	for i := range assignments {
+		assignments[i] = Assignment{TaskID: s.inst.Tasks[i].ID}
+	}
+	for _, ti := range order {
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
+		picked := false
+		for _, v := range s.cache.cliqueFor(s.inst, ti) {
+			mem := state.push(v)
+			if mem <= s.inst.Res.MemoryGB+1e-12 {
+				assignments[ti].Path = v.Path
+				assignments[ti].Quality = v.Quality
+				picked = true
+				break
+			}
+			state.pop()
+		}
+		if !picked {
+			return nil, fmt.Errorf("%w: no vertex fits the memory budget", ErrNoFeasiblePath)
+		}
+	}
+
+	// Warm starts: tasks whose (path × quality) decision survived the
+	// walk and were fully admitted last epoch resume the allocation
+	// alternation at their previous converged slice size. The z = 1 gate
+	// is what keeps incremental solutions bit-identical to from-scratch
+	// ones: a fully-admitted task's converged r provably equals the
+	// alternation's analytic initial point max(rLat, ceil(λβ/B)), so the
+	// iterate sequence is unchanged, whereas a fractional-z fixed point
+	// can sit below it and would steer the alternation elsewhere.
+	warmR := make(map[int]int)
+	for i := range assignments {
+		a := &assignments[i]
+		if a.Path == nil {
+			continue
+		}
+		h, ok := s.hints[a.TaskID]
+		if !ok || h.z < 1 || h.dnn != a.Path.DNN || h.pathID != a.Path.ID || h.quality != qualityKey(a.Quality) {
+			continue
+		}
+		warmR[i] = h.r
+	}
+	s.stats.WarmStarts += uint64(len(warmR))
+	if err := s.inst.optimizeAllocation(ctx, assignments, warmR); err != nil {
+		return nil, err
+	}
+	sol, err := s.inst.newSolution(assignments, time.Since(start))
+	if err != nil {
+		return nil, err
+	}
+	s.commit(sol)
+	return sol, nil
+}
+
+// commit retains the epoch's converged allocation as warm-start hints and
+// refreshes the refcounted block-sharing memory accounting.
+func (s *SolverSession) commit(sol *Solution) {
+	s.stats.Epochs++
+	next := make(map[string]int, len(s.refcount))
+	for i := range sol.Assignments {
+		a := &sol.Assignments[i]
+		if a.Path == nil {
+			delete(s.hints, a.TaskID)
+			continue
+		}
+		s.hints[a.TaskID] = allocHint{
+			dnn:     a.Path.DNN,
+			pathID:  a.Path.ID,
+			quality: qualityKey(a.Quality),
+			z:       a.Z,
+			r:       a.RBs,
+		}
+		if !a.Admitted() {
+			continue
+		}
+		for _, b := range a.Path.Blocks {
+			next[b]++
+		}
+	}
+	// Re-account memory only for blocks whose refcount crossed zero.
+	for id := range next {
+		if s.refcount[id] == 0 {
+			s.deployedGB += s.inst.BlockMemoryGB(id)
+		}
+	}
+	for id := range s.refcount {
+		if next[id] == 0 {
+			s.deployedGB -= s.inst.BlockMemoryGB(id)
+		}
+	}
+	s.refcount = next
+}

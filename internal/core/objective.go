@@ -80,13 +80,13 @@ func (in *Instance) Check(assignments []Assignment) error {
 	}
 	const tol = 1e-6
 	if bd.MemoryGB > in.Res.MemoryGB+tol {
-		return fmt.Errorf("%w: memory %v GB exceeds M=%v (1b)", ErrInfeasible, bd.MemoryGB, in.Res.MemoryGB)
+		return fmt.Errorf("%w: memory %v GB exceeds M=%v (1b)", ErrOverCapacity, bd.MemoryGB, in.Res.MemoryGB)
 	}
 	if bd.ComputeUsage > in.Res.ComputeSeconds+tol {
-		return fmt.Errorf("%w: compute %v s/s exceeds C=%v (1c)", ErrInfeasible, bd.ComputeUsage, in.Res.ComputeSeconds)
+		return fmt.Errorf("%w: compute %v s/s exceeds C=%v (1c)", ErrOverCapacity, bd.ComputeUsage, in.Res.ComputeSeconds)
 	}
 	if bd.RBsAllocated > float64(in.Res.RBs)+tol {
-		return fmt.Errorf("%w: RB usage %v exceeds R=%d (1d)", ErrInfeasible, bd.RBsAllocated, in.Res.RBs)
+		return fmt.Errorf("%w: RB usage %v exceeds R=%d (1d)", ErrOverCapacity, bd.RBsAllocated, in.Res.RBs)
 	}
 	for i, a := range assignments {
 		task := &in.Tasks[i]
@@ -100,7 +100,7 @@ func (in *Instance) Check(assignments []Assignment) error {
 		bits := a.Bits(task)
 		if a.Z*task.Rate*bits > b*float64(a.RBs)+tol {
 			return fmt.Errorf("%w: task %s rate %v×%v bits exceeds slice capacity %v×%d (1e)",
-				ErrInfeasible, task.ID, a.Z*task.Rate, bits, b, a.RBs)
+				ErrOverCapacity, task.ID, a.Z*task.Rate, bits, b, a.RBs)
 		}
 		if a.Accuracy() < task.MinAccuracy-tol {
 			return fmt.Errorf("%w: task %s accuracy %v below A=%v (1f)",

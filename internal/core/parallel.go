@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -17,8 +18,15 @@ import (
 //
 // workers ≤ 0 selects runtime.NumCPU().
 func SolveOptimalParallel(in *Instance, workers int) (*Solution, *OptimalStats, error) {
+	return SolveOptimalParallelCtx(context.Background(), in, workers)
+}
+
+// SolveOptimalParallelCtx is SolveOptimalParallel with cancellation
+// checked between first-layer branches (each worker stops picking up new
+// subtrees once ctx is done) and between layers within each subtree.
+func SolveOptimalParallelCtx(ctx context.Context, in *Instance, workers int) (*Solution, *OptimalStats, error) {
 	start := time.Now()
-	tree, err := BuildTree(in)
+	tree, err := buildTreeCtx(ctx, in)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -45,7 +53,13 @@ func SolveOptimalParallel(in *Instance, workers int) (*Solution, *OptimalStats, 
 		go func() {
 			defer wg.Done()
 			for v := range jobs {
-				r := exploreSubtree(in, tree, v)
+				if err := ctxErr(ctx); err != nil {
+					mu.Lock()
+					results = append(results, result{err: err})
+					mu.Unlock()
+					continue // drain remaining jobs without exploring
+				}
+				r := exploreSubtree(ctx, in, tree, v)
 				mu.Lock()
 				results = append(results, r)
 				mu.Unlock()
@@ -73,7 +87,7 @@ func SolveOptimalParallel(in *Instance, workers int) (*Solution, *OptimalStats, 
 		}
 	}
 	if best == nil {
-		return nil, nil, fmt.Errorf("%w: no feasible branch", ErrInfeasible)
+		return nil, nil, fmt.Errorf("%w: no feasible branch", ErrNoFeasiblePath)
 	}
 	best.Runtime = time.Since(start)
 	return best, stats, nil
@@ -81,7 +95,7 @@ func SolveOptimalParallel(in *Instance, workers int) (*Solution, *OptimalStats, 
 
 // exploreSubtree exhausts the subtree rooted at first-layer vertex v with
 // a private branch state.
-func exploreSubtree(in *Instance, tree *Tree, v Vertex) (out struct {
+func exploreSubtree(ctx context.Context, in *Instance, tree *Tree, v Vertex) (out struct {
 	best     *Solution
 	explored int
 	pruned   int
@@ -98,6 +112,9 @@ func exploreSubtree(in *Instance, tree *Tree, v Vertex) (out struct {
 
 	var dfs func(layer int) error
 	dfs = func(layer int) error {
+		if err := ctxErr(ctx); err != nil {
+			return err
+		}
 		if layer == len(tree.Layers) {
 			out.explored++
 			assignments, err := tree.assignmentsFor(chosen)

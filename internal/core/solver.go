@@ -1,10 +1,20 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
 )
+
+// ctxErr surfaces a context cancellation as a wrapped error, so callers
+// can test it with errors.Is(err, context.Canceled/DeadlineExceeded).
+func ctxErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("core: solve canceled: %w", err)
+	}
+	return nil
+}
 
 // SolveOffloaDNN runs the polynomial-time OffloaDNN heuristic (Sec. IV):
 // build the weighted tree (cliques sorted by ascending inference compute
@@ -12,7 +22,14 @@ import (
 // whose blocks fit the remaining memory budget, falling back to rejection
 // when none does — and solve the per-branch convex allocation in (z, r).
 func SolveOffloaDNN(in *Instance) (*Solution, error) {
-	return SolveOffloaDNNConfigured(in, HeuristicConfig{})
+	return SolveOffloaDNNConfiguredCtx(context.Background(), in, HeuristicConfig{})
+}
+
+// SolveOffloaDNNCtx is SolveOffloaDNN with cancellation checked between
+// tree layers; it returns promptly with the context's error once ctx is
+// done.
+func SolveOffloaDNNCtx(ctx context.Context, in *Instance) (*Solution, error) {
+	return SolveOffloaDNNConfiguredCtx(ctx, in, HeuristicConfig{})
 }
 
 // OptimalStats reports the work done by the exhaustive solver.
@@ -30,8 +47,15 @@ type OptimalStats struct {
 // solution. Complexity is exponential in the number of tasks — it is the
 // benchmark OffloaDNN is compared against in the small-scale scenario.
 func SolveOptimal(in *Instance) (*Solution, *OptimalStats, error) {
+	return SolveOptimalCtx(context.Background(), in)
+}
+
+// SolveOptimalCtx is SolveOptimal with cancellation checked between tree
+// layers of the depth-first traversal — essential for bounding the
+// exponential search from a caller's deadline.
+func SolveOptimalCtx(ctx context.Context, in *Instance) (*Solution, *OptimalStats, error) {
 	start := time.Now()
-	tree, err := BuildTree(in)
+	tree, err := buildTreeCtx(ctx, in)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -43,6 +67,9 @@ func SolveOptimal(in *Instance) (*Solution, *OptimalStats, error) {
 
 	var dfs func(layer int) error
 	dfs = func(layer int) error {
+		if err := ctxErr(ctx); err != nil {
+			return err
+		}
 		if layer == len(tree.Layers) {
 			stats.BranchesExplored++
 			assignments, err := tree.assignmentsFor(chosen)
@@ -81,7 +108,7 @@ func SolveOptimal(in *Instance) (*Solution, *OptimalStats, error) {
 		return nil, nil, err
 	}
 	if best == nil {
-		return nil, nil, fmt.Errorf("%w: no feasible branch", ErrInfeasible)
+		return nil, nil, fmt.Errorf("%w: no feasible branch", ErrNoFeasiblePath)
 	}
 	best.Runtime = time.Since(start)
 	return best, stats, nil

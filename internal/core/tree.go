@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -56,9 +57,28 @@ type Tree struct {
 // alone does not already exceed the latency bound (1g), sorted by
 // ascending compute time.
 func BuildTree(in *Instance) (*Tree, error) {
+	return buildTreeCtx(context.Background(), in)
+}
+
+// buildTreeCtx is BuildTree with cancellation checked between layers.
+func buildTreeCtx(ctx context.Context, in *Instance) (*Tree, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
+	order := priorityOrder(in)
+	t := &Tree{inst: in, Layers: make([]Clique, 0, len(order))}
+	for _, ti := range order {
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
+		t.Layers = append(t.Layers, Clique{TaskIndex: ti, Vertices: buildCliqueVertices(in, ti)})
+	}
+	return t, nil
+}
+
+// priorityOrder returns task indices in tree-layer order: descending
+// priority, ties broken by instance order.
+func priorityOrder(in *Instance) []int {
 	order := make([]int, len(in.Tasks))
 	for i := range order {
 		order[i] = i
@@ -66,58 +86,61 @@ func BuildTree(in *Instance) (*Tree, error) {
 	sort.SliceStable(order, func(a, b int) bool {
 		return in.Tasks[order[a]].Priority > in.Tasks[order[b]].Priority
 	})
+	return order
+}
 
-	t := &Tree{inst: in, Layers: make([]Clique, 0, len(order))}
-	for _, ti := range order {
-		task := &in.Tasks[ti]
-		qualities := task.QualityOptions()
-		clique := Clique{TaskIndex: ti}
-		for pi := range task.Paths {
-			p := &task.Paths[pi]
-			c := in.PathCompute(p)
-			if time.Duration(c*float64(time.Second)) > task.MaxLatency {
+// buildCliqueVertices constructs the sibling group of one task: every
+// feasible (path × quality) combination sorted by the clique ordering,
+// with the reject vertex last. The result depends only on the task's own
+// fields and the specs of the blocks its paths reference — the property
+// the incremental solver's clique cache relies on for invalidation.
+func buildCliqueVertices(in *Instance, ti int) []Vertex {
+	task := &in.Tasks[ti]
+	qualities := task.QualityOptions()
+	var vertices []Vertex
+	for pi := range task.Paths {
+		p := &task.Paths[pi]
+		c := in.PathCompute(p)
+		if time.Duration(c*float64(time.Second)) > task.MaxLatency {
+			continue
+		}
+		var train, mem float64
+		for _, id := range p.Blocks {
+			train += in.BlockTrainSeconds(id)
+			mem += in.BlockMemoryGB(id)
+		}
+		for qi := range qualities {
+			q := qualities[qi]
+			if p.Accuracy-q.AccuracyDelta < task.MinAccuracy {
 				continue
 			}
-			var train, mem float64
-			for _, id := range p.Blocks {
-				train += in.BlockTrainSeconds(id)
-				mem += in.BlockMemoryGB(id)
+			v := Vertex{Path: p, Compute: c, Train: train, Memory: mem, Bits: q.Bits}
+			if qi > 0 { // level 0 is the implicit full quality
+				quality := q
+				v.Quality = &quality
 			}
-			for qi := range qualities {
-				q := qualities[qi]
-				if p.Accuracy-q.AccuracyDelta < task.MinAccuracy {
-					continue
-				}
-				v := Vertex{Path: p, Compute: c, Train: train, Memory: mem, Bits: q.Bits}
-				if qi > 0 { // level 0 is the implicit full quality
-					quality := q
-					v.Quality = &quality
-				}
-				clique.Vertices = append(clique.Vertices, v)
-			}
+			vertices = append(vertices, v)
 		}
-		// Primary order is ascending inference compute time (the paper's
-		// clique ordering); compute ties — frequent among pruned variants
-		// and quality twins — break toward lower training cost, then lower
-		// memory, then fewer input bits, so the first-branch rule does not
-		// pick a gratuitously expensive twin.
-		sort.SliceStable(clique.Vertices, func(a, b int) bool {
-			va, vb := clique.Vertices[a], clique.Vertices[b]
-			if va.Compute != vb.Compute {
-				return va.Compute < vb.Compute
-			}
-			if va.Train != vb.Train {
-				return va.Train < vb.Train
-			}
-			if va.Memory != vb.Memory {
-				return va.Memory < vb.Memory
-			}
-			return va.Bits < vb.Bits
-		})
-		clique.Vertices = append(clique.Vertices, Vertex{}) // reject vertex
-		t.Layers = append(t.Layers, clique)
 	}
-	return t, nil
+	// Primary order is ascending inference compute time (the paper's
+	// clique ordering); compute ties — frequent among pruned variants
+	// and quality twins — break toward lower training cost, then lower
+	// memory, then fewer input bits, so the first-branch rule does not
+	// pick a gratuitously expensive twin.
+	sort.SliceStable(vertices, func(a, b int) bool {
+		va, vb := vertices[a], vertices[b]
+		if va.Compute != vb.Compute {
+			return va.Compute < vb.Compute
+		}
+		if va.Train != vb.Train {
+			return va.Train < vb.Train
+		}
+		if va.Memory != vb.Memory {
+			return va.Memory < vb.Memory
+		}
+		return va.Bits < vb.Bits
+	})
+	return append(vertices, Vertex{}) // reject vertex
 }
 
 // NumBranches returns the total number of root-to-leaf branches of the

@@ -1,0 +1,85 @@
+package core
+
+// treeCache memoizes the per-task cliques of the weighted tree across the
+// epochs of a SolverSession. A clique's vertices depend only on the
+// owning task's fields and on the specs of the blocks its paths reference
+// (buildCliqueVertices), never on the other tasks — so churn invalidates
+// cliques at task granularity: removing or re-adding a task drops exactly
+// its clique, re-specifying a block drops exactly the cliques that
+// reference it, and a rate-only change drops nothing (the request rate
+// enters the allocation, not the tree).
+type treeCache struct {
+	// vertices holds the cached clique per task ID.
+	vertices map[string][]Vertex
+	// taskBlocks maps task ID → the block IDs its cached clique
+	// references (the reverse index for blockTasks maintenance).
+	taskBlocks map[string][]string
+	// blockTasks maps block ID → the task IDs whose cached cliques
+	// reference it, so a block re-specification invalidates only those.
+	blockTasks map[string]map[string]bool
+
+	hits, misses uint64
+}
+
+func newTreeCache() *treeCache {
+	return &treeCache{
+		vertices:   make(map[string][]Vertex),
+		taskBlocks: make(map[string][]string),
+		blockTasks: make(map[string]map[string]bool),
+	}
+}
+
+// cliqueFor returns the clique vertices for task ti, building and caching
+// them on a miss.
+func (c *treeCache) cliqueFor(in *Instance, ti int) []Vertex {
+	id := in.Tasks[ti].ID
+	if vs, ok := c.vertices[id]; ok {
+		c.hits++
+		return vs
+	}
+	c.misses++
+	vs := buildCliqueVertices(in, ti)
+	c.vertices[id] = vs
+	refs := make(map[string]bool)
+	for _, p := range in.Tasks[ti].Paths {
+		for _, b := range p.Blocks {
+			refs[b] = true
+		}
+	}
+	blocks := make([]string, 0, len(refs))
+	for b := range refs {
+		blocks = append(blocks, b)
+		set, ok := c.blockTasks[b]
+		if !ok {
+			set = make(map[string]bool)
+			c.blockTasks[b] = set
+		}
+		set[id] = true
+	}
+	c.taskBlocks[id] = blocks
+	return vs
+}
+
+// invalidateTask drops one task's cached clique (a no-op when absent).
+func (c *treeCache) invalidateTask(id string) {
+	if _, ok := c.vertices[id]; !ok {
+		return
+	}
+	delete(c.vertices, id)
+	for _, b := range c.taskBlocks[id] {
+		if set := c.blockTasks[b]; set != nil {
+			delete(set, id)
+			if len(set) == 0 {
+				delete(c.blockTasks, b)
+			}
+		}
+	}
+	delete(c.taskBlocks, id)
+}
+
+// invalidateBlock drops every cached clique referencing the block.
+func (c *treeCache) invalidateBlock(id string) {
+	for task := range c.blockTasks[id] {
+		c.invalidateTask(task)
+	}
+}

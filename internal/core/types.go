@@ -27,6 +27,16 @@ var ErrModel = errors.New("core: invalid DOT instance")
 // budget cannot hold any path of an admission-mandatory configuration).
 var ErrInfeasible = errors.New("core: infeasible DOT instance")
 
+// ErrNoFeasiblePath reports that the weighted-tree search exhausted every
+// branch without finding one whose blocks fit the memory budget. It wraps
+// ErrInfeasible, so errors.Is(err, ErrInfeasible) also holds.
+var ErrNoFeasiblePath = fmt.Errorf("core: no feasible path [%w]", ErrInfeasible)
+
+// ErrOverCapacity reports a violation of a resource-capacity constraint —
+// memory (1b), compute (1c), radio (1d) or slice throughput (1e). It
+// wraps ErrInfeasible, so errors.Is(err, ErrInfeasible) also holds.
+var ErrOverCapacity = fmt.Errorf("core: resource capacity exceeded [%w]", ErrInfeasible)
+
 // BlockSpec is the experimentally characterized layer-block s^d.
 type BlockSpec struct {
 	// ID uniquely identifies the block; paths referencing the same ID
@@ -158,27 +168,8 @@ func (in *Instance) Validate() error {
 			return fmt.Errorf("%w: duplicate task ID %q", ErrModel, t.ID)
 		}
 		seen[t.ID] = true
-		if t.Priority < 0 || t.Priority > 1 {
-			return fmt.Errorf("%w: task %s priority %v outside [0,1]", ErrModel, t.ID, t.Priority)
-		}
-		if t.Rate <= 0 {
-			return fmt.Errorf("%w: task %s rate %v must be positive", ErrModel, t.ID, t.Rate)
-		}
-		if t.MaxLatency <= 0 {
-			return fmt.Errorf("%w: task %s latency bound %v must be positive", ErrModel, t.ID, t.MaxLatency)
-		}
-		if t.InputBits <= 0 {
-			return fmt.Errorf("%w: task %s input bits %v must be positive", ErrModel, t.ID, t.InputBits)
-		}
-		for _, p := range t.Paths {
-			if len(p.Blocks) == 0 {
-				return fmt.Errorf("%w: task %s path %s has no blocks", ErrModel, t.ID, p.ID)
-			}
-			for _, b := range p.Blocks {
-				if _, ok := in.Blocks[b]; !ok {
-					return fmt.Errorf("%w: task %s path %s references unknown block %q", ErrModel, t.ID, p.ID, b)
-				}
-			}
+		if err := in.validateTask(&t); err != nil {
+			return err
 		}
 	}
 	for id, b := range in.Blocks {
@@ -187,6 +178,35 @@ func (in *Instance) Validate() error {
 		}
 		if b.ComputeSeconds < 0 || b.MemoryGB < 0 || b.TrainSeconds < 0 {
 			return fmt.Errorf("%w: block %s has negative cost", ErrModel, id)
+		}
+	}
+	return nil
+}
+
+// validateTask checks one task's fields and path/block references against
+// the instance catalog (the per-task half of Validate, also applied to
+// tasks added to a SolverSession through a delta).
+func (in *Instance) validateTask(t *Task) error {
+	if t.Priority < 0 || t.Priority > 1 {
+		return fmt.Errorf("%w: task %s priority %v outside [0,1]", ErrModel, t.ID, t.Priority)
+	}
+	if t.Rate <= 0 {
+		return fmt.Errorf("%w: task %s rate %v must be positive", ErrModel, t.ID, t.Rate)
+	}
+	if t.MaxLatency <= 0 {
+		return fmt.Errorf("%w: task %s latency bound %v must be positive", ErrModel, t.ID, t.MaxLatency)
+	}
+	if t.InputBits <= 0 {
+		return fmt.Errorf("%w: task %s input bits %v must be positive", ErrModel, t.ID, t.InputBits)
+	}
+	for _, p := range t.Paths {
+		if len(p.Blocks) == 0 {
+			return fmt.Errorf("%w: task %s path %s has no blocks", ErrModel, t.ID, p.ID)
+		}
+		for _, b := range p.Blocks {
+			if _, ok := in.Blocks[b]; !ok {
+				return fmt.Errorf("%w: task %s path %s references unknown block %q", ErrModel, t.ID, p.ID, b)
+			}
 		}
 	}
 	return nil

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -56,11 +57,17 @@ type HeuristicConfig struct {
 // configuration. SolveOffloaDNN is equivalent to the zero-value default
 // (compute ordering, fractional admission).
 func SolveOffloaDNNConfigured(in *Instance, cfg HeuristicConfig) (*Solution, error) {
+	return SolveOffloaDNNConfiguredCtx(context.Background(), in, cfg)
+}
+
+// SolveOffloaDNNConfiguredCtx is SolveOffloaDNNConfigured with
+// cancellation checked between tree layers of the first-branch walk.
+func SolveOffloaDNNConfiguredCtx(ctx context.Context, in *Instance, cfg HeuristicConfig) (*Solution, error) {
 	start := time.Now()
 	if cfg.Order == 0 {
 		cfg.Order = OrderCompute
 	}
-	tree, err := BuildTree(in)
+	tree, err := buildTreeCtx(ctx, in)
 	if err != nil {
 		return nil, err
 	}
@@ -69,6 +76,9 @@ func SolveOffloaDNNConfigured(in *Instance, cfg HeuristicConfig) (*Solution, err
 	state := newBranchState(in)
 	chosen := make([]Vertex, 0, len(tree.Layers))
 	for _, clique := range tree.Layers {
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
 		picked := false
 		for _, v := range clique.Vertices {
 			mem := state.push(v)
@@ -80,7 +90,7 @@ func SolveOffloaDNNConfigured(in *Instance, cfg HeuristicConfig) (*Solution, err
 			state.pop()
 		}
 		if !picked {
-			return nil, fmt.Errorf("%w: no vertex fits the memory budget", ErrInfeasible)
+			return nil, fmt.Errorf("%w: no vertex fits the memory budget", ErrNoFeasiblePath)
 		}
 	}
 	assignments, err := tree.assignmentsFor(chosen)
@@ -90,7 +100,7 @@ func SolveOffloaDNNConfigured(in *Instance, cfg HeuristicConfig) (*Solution, err
 	if cfg.BinaryAdmission {
 		err = in.optimizeBinaryAllocation(assignments)
 	} else {
-		err = in.OptimizeAllocation(assignments)
+		err = in.optimizeAllocation(ctx, assignments, nil)
 	}
 	if err != nil {
 		return nil, err

@@ -72,10 +72,25 @@ func (c *Controller) Admit(tasks []core.Task, blocks map[string]core.BlockSpec, 
 	in := &core.Instance{Tasks: tasks, Blocks: blocks, Res: c.res, Alpha: alpha}
 	sol, err := c.Solve(in)
 	if err != nil {
-		return nil, fmt.Errorf("%w: solver: %v", ErrDeploy, err)
+		return nil, fmt.Errorf("%w: solver: %w", ErrDeploy, err)
 	}
+	return c.deployLocked(in, sol)
+}
+
+// Deploy runs steps 3–6 of the workflow for a solution produced outside
+// the controller (the serving daemon's incremental SolverSession): it
+// checks the solution against the instance, allocates the radio slices,
+// and assembles the deployment. Rounds serialize with Admit.
+func (c *Controller) Deploy(in *core.Instance, sol *core.Solution) (*Deployment, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.deployLocked(in, sol)
+}
+
+// deployLocked checks, slices, and packages a solution; c.mu must be held.
+func (c *Controller) deployLocked(in *core.Instance, sol *core.Solution) (*Deployment, error) {
 	if err := in.Check(sol.Assignments); err != nil {
-		return nil, fmt.Errorf("%w: solution check: %v", ErrDeploy, err)
+		return nil, fmt.Errorf("%w: solution check: %w", ErrDeploy, err)
 	}
 
 	slices := radio.NewSliceAllocator(c.res.RBs)
@@ -88,7 +103,7 @@ func (c *Controller) Admit(tasks []core.Task, blocks map[string]core.BlockSpec, 
 		if err := slices.AllocateShared(a.TaskID, a.RBs, a.Z); err != nil {
 			return nil, fmt.Errorf("%w: slice for %s: %v", ErrDeploy, a.TaskID, err)
 		}
-		rates[a.TaskID] = a.Z * tasks[i].Rate
+		rates[a.TaskID] = a.Z * in.Tasks[i].Rate
 		for _, b := range a.Path.Blocks {
 			active[b] = true
 		}

@@ -83,8 +83,34 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+// Machine-readable error codes of the unified error envelope. Every
+// non-2xx response across the API carries
+// {"error": {"code": <code>, "message": <human text>}}.
+const (
+	// CodeInvalidRequest: malformed body or invalid task fields (400).
+	CodeInvalidRequest = "invalid_request"
+	// CodeTaskExists: registration under a live task ID (409).
+	CodeTaskExists = "task_exists"
+	// CodeUnknownTask: operation on an ID that is not registered (404).
+	CodeUnknownTask = "unknown_task"
+	// CodeNotAdmitted: the current epoch does not admit the task (429).
+	CodeNotAdmitted = "not_admitted"
+	// CodeOverRate: traffic beyond the task's admitted rate z·λ (429).
+	CodeOverRate = "over_rate"
+)
+
+// errorBody is the unified JSON error envelope.
+type errorBody struct {
+	Error errorDetail `json:"error"`
+}
+
+type errorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: errorDetail{Code: code, Message: fmt.Sprintf(format, args...)}})
 }
 
 // retryAfter formats a Retry-After header value: whole seconds, at
@@ -102,15 +128,15 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
-		writeError(w, http.StatusBadRequest, "invalid task spec: %v", err)
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "invalid task spec: %v", err)
 		return
 	}
 	if err := s.Register(spec.Task(), nil); err != nil {
 		if errors.Is(err, ErrExists) {
-			writeError(w, http.StatusConflict, "%v", err)
+			writeError(w, http.StatusConflict, CodeTaskExists, "%v", err)
 			return
 		}
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "%v", err)
 		return
 	}
 	// 202: the task is registered; its admission verdict arrives with
@@ -124,7 +150,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDeregister(w http.ResponseWriter, r *http.Request) {
 	if err := s.Deregister(r.PathValue("id")); err != nil {
-		writeError(w, http.StatusNotFound, "%v", err)
+		writeError(w, http.StatusNotFound, CodeUnknownTask, "%v", err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -160,11 +186,11 @@ func (s *Server) handleOffload(w http.ResponseWriter, r *http.Request) {
 	var req OffloadRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "invalid offload request: %v", err)
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "invalid offload request: %v", err)
 		return
 	}
 	if !s.reg.Has(req.Task) {
-		writeError(w, http.StatusNotFound, "task %q not registered", req.Task)
+		writeError(w, http.StatusNotFound, CodeUnknownTask, "task %q not registered", req.Task)
 		return
 	}
 	ep := s.resolver.Current()
@@ -175,14 +201,14 @@ func (s *Server) handleOffload(w http.ResponseWriter, r *http.Request) {
 		// or the solver rejected the task under current load.
 		s.stats.recordReject(req.Task)
 		w.Header().Set("Retry-After", retryAfter(s.cfg.Debounce))
-		writeError(w, http.StatusTooManyRequests, "task %q not admitted by current epoch", req.Task)
+		writeError(w, http.StatusTooManyRequests, CodeNotAdmitted, "task %q not admitted by current epoch", req.Task)
 		return
 	}
 	ok, wait := gate.Allow()
 	if !ok {
 		s.stats.recordReject(req.Task)
 		w.Header().Set("Retry-After", retryAfter(wait))
-		writeError(w, http.StatusTooManyRequests,
+		writeError(w, http.StatusTooManyRequests, CodeOverRate,
 			"task %q over its admitted rate %.3g req/s", req.Task, gate.Rate())
 		return
 	}

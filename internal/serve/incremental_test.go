@@ -1,0 +1,213 @@
+package serve
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"offloadnn/internal/core"
+	"offloadnn/internal/workload"
+)
+
+// decodeErrorEnvelope parses the unified error body and returns its code.
+func decodeErrorEnvelope(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	var body errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("error response is not the envelope: %v", err)
+	}
+	if body.Error.Code == "" || body.Error.Message == "" {
+		t.Fatalf("envelope missing code or message: %+v", body)
+	}
+	return body.Error.Code
+}
+
+// TestErrorEnvelope drives every error path of the API and checks each
+// returns the unified {"error": {"code", "message"}} body with the
+// documented machine-readable code.
+func TestErrorEnvelope(t *testing.T) {
+	srv := newTestServer(t, Config{Debounce: time.Hour})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Malformed register body → invalid_request.
+	resp := postJSON(t, ts.URL+"/v1/tasks", map[string]any{"id": "x", "bogus": true})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad body: status %d", resp.StatusCode)
+	}
+	if code := decodeErrorEnvelope(t, resp); code != CodeInvalidRequest {
+		t.Fatalf("bad body: code %q, want %q", code, CodeInvalidRequest)
+	}
+
+	// Invalid task fields → invalid_request.
+	resp = postJSON(t, ts.URL+"/v1/tasks", TaskSpec{ID: "neg", Rate: -1})
+	if code := decodeErrorEnvelope(t, resp); code != CodeInvalidRequest {
+		t.Fatalf("invalid fields: code %q, want %q", code, CodeInvalidRequest)
+	}
+
+	// Duplicate registration → task_exists.
+	spec := smallSpec(t, 1)
+	resp = postJSON(t, ts.URL+"/v1/tasks", spec)
+	resp.Body.Close()
+	resp = postJSON(t, ts.URL+"/v1/tasks", spec)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate: status %d", resp.StatusCode)
+	}
+	if code := decodeErrorEnvelope(t, resp); code != CodeTaskExists {
+		t.Fatalf("duplicate: code %q, want %q", code, CodeTaskExists)
+	}
+
+	// Deregistering an unknown ID → unknown_task.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/tasks/ghost", nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown delete: status %d", dresp.StatusCode)
+	}
+	if code := decodeErrorEnvelope(t, dresp); code != CodeUnknownTask {
+		t.Fatalf("unknown delete: code %q, want %q", code, CodeUnknownTask)
+	}
+
+	// Offload for an unregistered task → unknown_task.
+	resp = postJSON(t, ts.URL+"/v1/offload", OffloadRequest{Task: "ghost"})
+	if code := decodeErrorEnvelope(t, resp); code != CodeUnknownTask {
+		t.Fatalf("unknown offload: code %q, want %q", code, CodeUnknownTask)
+	}
+
+	// Registered but no epoch yet (debounce is an hour) → not_admitted.
+	resp = postJSON(t, ts.URL+"/v1/offload", OffloadRequest{Task: spec.ID})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("pre-epoch offload: status %d", resp.StatusCode)
+	}
+	if code := decodeErrorEnvelope(t, resp); code != CodeNotAdmitted {
+		t.Fatalf("pre-epoch offload: code %q, want %q", code, CodeNotAdmitted)
+	}
+
+	// Admitted but over the token bucket → over_rate.
+	if err := srv.ResolveNow(); err != nil {
+		t.Fatal(err)
+	}
+	sawOver := false
+	for i := 0; i < 50 && !sawOver; i++ {
+		resp = postJSON(t, ts.URL+"/v1/offload", OffloadRequest{Task: spec.ID})
+		switch resp.StatusCode {
+		case http.StatusOK:
+			resp.Body.Close()
+		case http.StatusTooManyRequests:
+			if code := decodeErrorEnvelope(t, resp); code != CodeOverRate {
+				t.Fatalf("over-rate: code %q, want %q", code, CodeOverRate)
+			}
+			sawOver = true
+		default:
+			t.Fatalf("offload: unexpected status %d", resp.StatusCode)
+		}
+	}
+	if !sawOver {
+		t.Fatal("never drove the gate over its admitted rate")
+	}
+}
+
+// TestIncrementalResolverMatchesFull runs the same churn sequence through
+// two daemons — the default (incremental SolverSession) and one pinned to
+// from-scratch solves — and checks every epoch's admission plan matches
+// to 1e-9.
+func TestIncrementalResolverMatchesFull(t *testing.T) {
+	inc := newTestServer(t, Config{Debounce: time.Hour})
+	full := newTestServer(t, Config{Debounce: time.Hour, Solve: core.SolveOffloaDNN})
+
+	compare := func(step string) {
+		t.Helper()
+		if err := inc.ResolveNow(); err != nil {
+			t.Fatalf("%s: incremental resolve: %v", step, err)
+		}
+		if err := full.ResolveNow(); err != nil {
+			t.Fatalf("%s: full resolve: %v", step, err)
+		}
+		ei, ef := inc.Current(), full.Current()
+		if (ei.Deployment == nil) != (ef.Deployment == nil) {
+			t.Fatalf("%s: deployment presence differs", step)
+		}
+		if ei.Deployment == nil {
+			return
+		}
+		ci := ei.Deployment.Solution.Cost
+		cf := ef.Deployment.Solution.Cost
+		if math.Abs(ci-cf) > 1e-9 {
+			t.Fatalf("%s: incremental cost %v != full %v", step, ci, cf)
+		}
+		for id, rate := range ef.Deployment.AdmittedRates {
+			if got := ei.Deployment.AdmittedRates[id]; math.Abs(got-rate) > 1e-9 {
+				t.Fatalf("%s: task %s admitted rate %v != %v", step, id, got, rate)
+			}
+		}
+		if len(ei.Deployment.AdmittedRates) != len(ef.Deployment.AdmittedRates) {
+			t.Fatalf("%s: admitted sets differ: %d vs %d",
+				step, len(ei.Deployment.AdmittedRates), len(ef.Deployment.AdmittedRates))
+		}
+	}
+
+	// Register all five tasks, then churn: withdraw two, re-register one.
+	for i := 1; i <= 5; i++ {
+		task, err := workload.SmallTask(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := inc.Register(task, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := full.Register(task, nil); err != nil {
+			t.Fatal(err)
+		}
+		compare("register")
+	}
+	for _, id := range []string{"task-2", "task-4"} {
+		if err := inc.Deregister(id); err != nil {
+			t.Fatal(err)
+		}
+		if err := full.Deregister(id); err != nil {
+			t.Fatal(err)
+		}
+		compare("deregister " + id)
+	}
+	task, err := workload.SmallTask(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inc.Register(task, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := full.Register(task, nil); err != nil {
+		t.Fatal(err)
+	}
+	compare("re-register task-2")
+
+	// Draining the registry then refilling exercises the session reset.
+	for _, id := range []string{"task-1", "task-2", "task-3", "task-5"} {
+		if err := inc.Deregister(id); err != nil {
+			t.Fatal(err)
+		}
+		if err := full.Deregister(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	compare("empty registry")
+	for i := 1; i <= 3; i++ {
+		task, err := workload.SmallTask(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := inc.Register(task, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := full.Register(task, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	compare("refill after empty")
+}

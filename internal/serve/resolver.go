@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -62,10 +63,17 @@ func (e *Epoch) PredictedLatency(id string) (time.Duration, bool) {
 }
 
 // Resolver owns the epoch lifecycle: it watches the registry for churn,
-// debounces it, re-runs the controller's admission round and atomically
-// publishes the resulting epoch. A kick during an in-flight solve is
-// retained, so the loop always converges onto the latest registry
-// generation.
+// debounces it, re-runs the admission round and atomically publishes the
+// resulting epoch. A kick during an in-flight solve is retained, so the
+// loop always converges onto the latest registry generation.
+//
+// With the default solver the resolver runs incrementally: it keeps a
+// core.SolverSession across epochs and feeds it the task delta between
+// the session's state and the registry snapshot, so only the cliques the
+// churn touched are rebuilt and allocations warm-start from the previous
+// epoch. A custom Config.Solve opts out (the session exists to accelerate
+// the default heuristic, not arbitrary strategies) and every epoch is a
+// full controller admission round.
 type Resolver struct {
 	reg      *Registry
 	ctrl     *edge.Controller
@@ -82,25 +90,41 @@ type Resolver struct {
 	wg   sync.WaitGroup
 	once sync.Once
 
+	// ctx is canceled by Close so an in-flight incremental solve aborts
+	// instead of delaying shutdown.
+	ctx    context.Context
+	cancel context.CancelFunc
+
 	// solveMu serializes epoch production (numbering + publication);
 	// readers never take it.
 	solveMu sync.Mutex
 	epochN  uint64
+	// incremental selects the SolverSession path; session is the live
+	// session (nil before the first non-empty solve and after any error,
+	// so the next epoch rebuilds from scratch). Both are guarded by
+	// solveMu.
+	incremental bool
+	session     *core.SolverSession
 }
 
 func newResolver(reg *Registry, ctrl *edge.Controller, res core.Resources, alpha float64,
-	debounce time.Duration, now func() time.Time, logf func(string, ...any), stats *Stats) *Resolver {
+	debounce time.Duration, now func() time.Time, logf func(string, ...any), stats *Stats,
+	incremental bool) *Resolver {
+	ctx, cancel := context.WithCancel(context.Background())
 	r := &Resolver{
-		reg:      reg,
-		ctrl:     ctrl,
-		res:      res,
-		alpha:    alpha,
-		debounce: debounce,
-		now:      now,
-		logf:     logf,
-		stats:    stats,
-		kick:     make(chan struct{}, 1),
-		done:     make(chan struct{}),
+		reg:         reg,
+		ctrl:        ctrl,
+		res:         res,
+		alpha:       alpha,
+		debounce:    debounce,
+		now:         now,
+		logf:        logf,
+		stats:       stats,
+		kick:        make(chan struct{}, 1),
+		done:        make(chan struct{}),
+		ctx:         ctx,
+		cancel:      cancel,
+		incremental: incremental,
 	}
 	r.wg.Add(1)
 	go r.loop()
@@ -119,9 +143,13 @@ func (r *Resolver) Kick() {
 	}
 }
 
-// Close stops the loop and waits for it to exit.
+// Close stops the loop, cancels any in-flight incremental solve, and
+// waits for the loop to exit.
 func (r *Resolver) Close() {
-	r.once.Do(func() { close(r.done) })
+	r.once.Do(func() {
+		close(r.done)
+		r.cancel()
+	})
 	r.wg.Wait()
 }
 
@@ -175,8 +203,22 @@ func (r *Resolver) resolve(force bool) error {
 		gates:      make(map[string]*Gate),
 		latency:    make(map[string]time.Duration),
 	}
-	if len(tasks) > 0 {
-		dep, err := r.ctrl.Admit(tasks, blocks, r.alpha)
+	if len(tasks) == 0 {
+		r.session = nil // an empty registry resets the incremental session
+	} else {
+		var dep *edge.Deployment
+		var err error
+		if r.incremental {
+			dep, err = r.resolveIncremental(tasks, blocks)
+			if err == nil {
+				// Assignments are parallel to the session's task order
+				// (which tracks registration order); publish that order.
+				tasks = r.session.Tasks()
+				ep.Tasks = tasks
+			}
+		} else {
+			dep, err = r.ctrl.Admit(tasks, blocks, r.alpha)
+		}
 		if err != nil {
 			r.stats.solveErrors.Add(1)
 			return err
@@ -207,4 +249,116 @@ func (r *Resolver) resolve(force bool) error {
 	r.stats.solves.Add(1)
 	r.stats.lastSolveNanos.Store(int64(ep.SolveLatency))
 	return nil
+}
+
+// resolveIncremental produces a deployment through the solver session: it
+// diffs the session's task set against the registry snapshot into a
+// TaskDelta, re-solves incrementally, and hands the solution to the
+// controller for checking and slice allocation. On any error the session
+// is dropped so the next epoch rebuilds from scratch rather than serving
+// off state of unknown consistency. Caller holds solveMu.
+func (r *Resolver) resolveIncremental(tasks []core.Task, blocks map[string]core.BlockSpec) (*edge.Deployment, error) {
+	var delta core.TaskDelta
+	if r.session == nil {
+		sess, err := core.NewSolverSession(&core.Instance{
+			Tasks:  tasks,
+			Blocks: blocks,
+			Res:    r.res,
+			Alpha:  r.alpha,
+		})
+		if err != nil {
+			return nil, err
+		}
+		r.session = sess
+	} else {
+		delta = sessionDelta(r.session, tasks, blocks)
+	}
+	sol, err := r.session.Resolve(r.ctx, delta)
+	if err != nil {
+		r.session = nil
+		return nil, err
+	}
+	dep, err := r.ctrl.Deploy(r.session.Instance(), sol)
+	if err != nil {
+		r.session = nil
+		return nil, err
+	}
+	return dep, nil
+}
+
+// sessionDelta computes the churn between a session's task set and a
+// registry snapshot. Tasks are matched by ID; a task whose only change is
+// its request rate becomes a rate update (which invalidates no cached
+// cliques), any other change becomes a remove + re-add. Path slices are
+// compared by identity (length plus backing array), which holds across
+// snapshots because the registry builds a task's paths once at
+// registration and every Snapshot copy shares them.
+func sessionDelta(sess *core.SolverSession, tasks []core.Task, blocks map[string]core.BlockSpec) core.TaskDelta {
+	var delta core.TaskDelta
+	inst := sess.Instance()
+	for id, b := range blocks {
+		if _, ok := inst.Blocks[id]; !ok {
+			if delta.AddBlocks == nil {
+				delta.AddBlocks = make(map[string]core.BlockSpec)
+			}
+			delta.AddBlocks[id] = b
+		}
+	}
+	have := make(map[string]*core.Task, len(inst.Tasks))
+	for i := range inst.Tasks {
+		have[inst.Tasks[i].ID] = &inst.Tasks[i]
+	}
+	want := make(map[string]bool, len(tasks))
+	for i := range tasks {
+		t := &tasks[i]
+		want[t.ID] = true
+		prev, ok := have[t.ID]
+		switch {
+		case !ok:
+			delta.Add = append(delta.Add, *t)
+		case taskUnchangedExceptRate(prev, t):
+			if prev.Rate != t.Rate {
+				if delta.Rate == nil {
+					delta.Rate = make(map[string]float64)
+				}
+				delta.Rate[t.ID] = t.Rate
+			}
+		default:
+			delta.Remove = append(delta.Remove, t.ID)
+			delta.Add = append(delta.Add, *t)
+		}
+	}
+	for id := range have {
+		if !want[id] {
+			delta.Remove = append(delta.Remove, id)
+		}
+	}
+	return delta
+}
+
+// taskUnchangedExceptRate reports whether two snapshots of a task differ
+// at most in their request rate — the one field that does not enter tree
+// construction.
+func taskUnchangedExceptRate(a, b *core.Task) bool {
+	return a.Priority == b.Priority &&
+		a.MinAccuracy == b.MinAccuracy &&
+		a.MaxLatency == b.MaxLatency &&
+		a.InputBits == b.InputBits &&
+		a.SNRdB == b.SNRdB &&
+		sameQualities(a.Qualities, b.Qualities) &&
+		samePaths(a.Paths, b.Paths)
+}
+
+func sameQualities(a, b []core.QualityLevel) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	return len(a) == 0 || &a[0] == &b[0]
+}
+
+func samePaths(a, b []core.PathSpec) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	return len(a) == 0 || &a[0] == &b[0]
 }

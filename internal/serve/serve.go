@@ -48,8 +48,13 @@ type Config struct {
 	// Now is the clock used by the admission gates and uptime
 	// (default time.Now); injectable for deterministic tests.
 	Now func() time.Time
-	// Solve optionally overrides the solver strategy (default
-	// core.SolveOffloaDNN).
+	// Solve optionally overrides the solver strategy. When nil the daemon
+	// runs the OffloaDNN heuristic *incrementally*: a core.SolverSession
+	// carries the weighted tree and converged allocations across epochs,
+	// so each re-solve rebuilds only the cliques the churn touched.
+	// Setting Solve opts out of the session — every epoch is then a full
+	// admission round through the given function (the epoch benchmarks
+	// use this to measure the non-incremental baseline).
 	Solve func(*core.Instance) (*core.Solution, error)
 	// Logf, when set, receives re-solve failures and other background
 	// diagnostics (e.g. log.Printf). Nil discards them.
@@ -99,7 +104,7 @@ func New(cfg Config) (*Server, error) {
 		reg:   NewRegistry(cfg.Catalog, cfg.Blocks),
 		stats: newStats(cfg.Window, cfg.Now()),
 	}
-	s.resolver = newResolver(s.reg, ctrl, cfg.Res, cfg.Alpha, cfg.Debounce, cfg.Now, cfg.Logf, s.stats)
+	s.resolver = newResolver(s.reg, ctrl, cfg.Res, cfg.Alpha, cfg.Debounce, cfg.Now, cfg.Logf, s.stats, cfg.Solve == nil)
 	s.mux = s.routes()
 	return s, nil
 }

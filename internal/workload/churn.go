@@ -18,6 +18,11 @@ const (
 	ChurnRegister ChurnKind = iota
 	// ChurnDeregister withdraws it.
 	ChurnDeregister
+	// ChurnRateChange updates a live task's request rate λ — the cheapest
+	// churn for an incremental solver, since the rate enters only the
+	// allocation subproblem, not tree construction. Emitted only when
+	// ChurnParams.RateChurn is set.
+	ChurnRateChange
 )
 
 // String implements fmt.Stringer.
@@ -27,6 +32,8 @@ func (k ChurnKind) String() string {
 		return "register"
 	case ChurnDeregister:
 		return "deregister"
+	case ChurnRateChange:
+		return "rate-change"
 	default:
 		return fmt.Sprintf("churn(%d)", int(k))
 	}
@@ -39,7 +46,8 @@ type ChurnEvent struct {
 	// Kind is register or deregister.
 	Kind ChurnKind
 	// Task carries the full request fields for registrations; for
-	// deregistrations only the ID is meaningful.
+	// deregistrations only the ID is meaningful, and for rate changes the
+	// ID and the new Rate.
 	Task core.Task
 }
 
@@ -52,6 +60,11 @@ type ChurnParams struct {
 	Duration time.Duration
 	// Seed drives the deterministic departure/return jitter.
 	Seed int64
+	// RateChurn additionally schedules a mid-run rate change for tasks
+	// that stay registered throughout, exercising the delta kind that
+	// leaves the cached tree fully intact. Off by default so existing
+	// drivers see the register/deregister-only timeline.
+	RateChurn bool
 }
 
 // ChurnTimeline derives a deterministic register/deregister schedule over
@@ -80,6 +93,17 @@ func ChurnTimeline(p ChurnParams) ([]ChurnEvent, error) {
 		events = append(events, ChurnEvent{At: arrive, Kind: ChurnRegister, Task: task})
 		// ~80% of tasks depart mid-run (35–60% of the duration).
 		if hash64(p.Seed, int64(i), 1) >= 0.8 {
+			// Stayers optionally get a mid-run rate change (40–65% of the
+			// duration), scaled to 0.5–1.5× the original rate.
+			if p.RateChurn {
+				at := time.Duration((0.4 + 0.25*hash64(p.Seed, int64(i), 5)) * float64(p.Duration))
+				rate := task.Rate * (0.5 + hash64(p.Seed, int64(i), 6))
+				events = append(events, ChurnEvent{
+					At:   at,
+					Kind: ChurnRateChange,
+					Task: core.Task{ID: task.ID, Rate: rate},
+				})
+			}
 			continue
 		}
 		depart := time.Duration((0.35 + 0.25*hash64(p.Seed, int64(i), 2)) * float64(p.Duration))

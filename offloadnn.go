@@ -22,6 +22,8 @@
 package offloadnn
 
 import (
+	"context"
+
 	"offloadnn/internal/core"
 	"offloadnn/internal/edge"
 	"offloadnn/internal/experiments"
@@ -29,6 +31,21 @@ import (
 	"offloadnn/internal/semoran"
 	"offloadnn/internal/serve"
 	"offloadnn/internal/workload"
+)
+
+// Sentinel errors of the solver layer. Match them with errors.Is: every
+// infeasibility reported by Solve, SolveOptimal, Check or a SolverSession
+// wraps ErrInfeasible; the two named causes additionally identify why.
+var (
+	// ErrInfeasible is the root of the infeasibility hierarchy: the
+	// instance admits no solution, or a candidate violates a constraint.
+	ErrInfeasible = core.ErrInfeasible
+	// ErrNoFeasiblePath reports that some task has no (path × quality)
+	// decision surviving the memory walk — wraps ErrInfeasible.
+	ErrNoFeasiblePath = core.ErrNoFeasiblePath
+	// ErrOverCapacity reports a memory/compute/radio capacity violation
+	// found by Check — wraps ErrInfeasible.
+	ErrOverCapacity = core.ErrOverCapacity
 )
 
 // Core DOT problem types.
@@ -104,13 +121,29 @@ const (
 
 // Solve runs the OffloaDNN heuristic (weighted tree, first branch,
 // per-branch convex allocation). Polynomial time: suitable for large
-// instances.
+// instances. Equivalent to SolveCtx with context.Background().
 func Solve(in *Instance) (*Solution, error) { return core.SolveOffloaDNN(in) }
 
+// SolveCtx is Solve with cancellation: ctx is checked between tree layers
+// of the first-branch walk and between rounds of the allocation
+// alternation, so a canceled solve returns promptly with an error
+// wrapping ctx.Err().
+func SolveCtx(ctx context.Context, in *Instance) (*Solution, error) {
+	return core.SolveOffloaDNNCtx(ctx, in)
+}
+
 // SolveOptimal exhaustively searches every tree branch — exponential in
-// the number of tasks; the benchmark for small instances.
+// the number of tasks; the benchmark for small instances. Equivalent to
+// SolveOptimalCtx with context.Background().
 func SolveOptimal(in *Instance) (*Solution, *OptimalStats, error) {
 	return core.SolveOptimal(in)
+}
+
+// SolveOptimalCtx is SolveOptimal with cancellation checked between tree
+// layers of the exhaustive search — the long-running solver that most
+// needs a deadline.
+func SolveOptimalCtx(ctx context.Context, in *Instance) (*Solution, *OptimalStats, error) {
+	return core.SolveOptimalCtx(ctx, in)
 }
 
 // SolveSEMORAN runs the SEM-O-RAN baseline: binary admission maximizing
@@ -229,6 +262,35 @@ func ChurnTimeline(p ChurnParams) ([]ChurnEvent, error) { return workload.ChurnT
 // fanned out over a bounded worker pool (workers ≤ 0 = NumCPU).
 func SolveOptimalParallel(in *Instance, workers int) (*Solution, *OptimalStats, error) {
 	return core.SolveOptimalParallel(in, workers)
+}
+
+// SolveOptimalParallelCtx is SolveOptimalParallel with cancellation
+// checked between first-layer branches and between layers within each
+// worker's subtree.
+func SolveOptimalParallelCtx(ctx context.Context, in *Instance, workers int) (*Solution, *OptimalStats, error) {
+	return core.SolveOptimalParallelCtx(ctx, in, workers)
+}
+
+// Incremental solving types.
+type (
+	// SolverSession is an incremental solver for serving loops: it caches
+	// the weighted tree across epochs, consumes task deltas instead of
+	// whole instances, and warm-starts allocations from the previous
+	// epoch. Resolve produces the same solution Solve computes from
+	// scratch on the equivalent instance.
+	SolverSession = core.SolverSession
+	// TaskDelta is the churn between two epochs: task adds, removals,
+	// rate updates, and new blocks.
+	TaskDelta = core.TaskDelta
+	// SessionStats counts a session's cache hits/misses and warm starts.
+	SessionStats = core.SessionStats
+)
+
+// NewSolverSession validates the instance and prepares an incremental
+// session over it. Call Resolve(ctx, delta) once per epoch; a zero delta
+// re-solves the unchanged task set.
+func NewSolverSession(in *Instance) (*SolverSession, error) {
+	return core.NewSolverSession(in)
 }
 
 // BuildTree constructs the weighted-tree model of an instance's solution
