@@ -8,6 +8,7 @@ package offloadnn
 
 import (
 	"context"
+	"fmt"
 	"testing"
 	"time"
 
@@ -28,6 +29,7 @@ func benchExperiment(b *testing.B, id string, opt experiments.Options) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tables, err := e.Run(opt)
@@ -117,6 +119,7 @@ func BenchmarkSolveOffloaDNNSmallT5(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.SolveOffloaDNN(in); err != nil {
@@ -131,6 +134,7 @@ func BenchmarkSolveOptimalSmallT3(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := core.SolveOptimal(in); err != nil {
@@ -146,6 +150,7 @@ func BenchmarkSolveOffloaDNNLarge(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.SolveOffloaDNN(in); err != nil {
@@ -161,6 +166,7 @@ func BenchmarkSolveSEMORANLarge(b *testing.B) {
 		b.Fatal(err)
 	}
 	cfg := semoran.DefaultConfig()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := semoran.Solve(in, cfg); err != nil {
@@ -180,11 +186,14 @@ func BenchmarkResNet18Forward(b *testing.B) {
 	})
 	x := tensor.New(1, 3, 16, 16)
 	x.Fill(1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := m.Forward(x, false); err != nil {
+		y, err := m.Forward(x, false)
+		if err != nil {
 			b.Fatal(err)
 		}
+		tensor.Release(y)
 	}
 }
 
@@ -198,11 +207,14 @@ func BenchmarkResNet18PrunedForward(b *testing.B) {
 	})
 	x := tensor.New(1, 3, 16, 16)
 	x.Fill(1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := m.Forward(x, false); err != nil {
+		y, err := m.Forward(x, false)
+		if err != nil {
 			b.Fatal(err)
 		}
+		tensor.Release(y)
 	}
 }
 
@@ -210,6 +222,7 @@ func BenchmarkResNet18PrunedForward(b *testing.B) {
 func BenchmarkProfileModel(b *testing.B) {
 	m := dnn.BuildResNet18(dnn.DefaultResNetConfig())
 	p := profile.Profiler{ImageSize: 16, Repeats: 3, Warmup: 1}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := p.ProfileModel(m); err != nil {
@@ -225,6 +238,7 @@ func BenchmarkTreeBuildLarge(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.BuildTree(in); err != nil {
@@ -240,11 +254,95 @@ func BenchmarkConv2D(b *testing.B) {
 	w := tensor.New(32, 16, 3, 3)
 	x.Fill(0.5)
 	w.Fill(0.1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := tensor.Conv2D(x, w, nil, p); err != nil {
+		y, err := tensor.Conv2D(x, w, nil, p)
+		if err != nil {
 			b.Fatal(err)
 		}
+		tensor.Release(y)
+	}
+}
+
+// BenchmarkMatMul sweeps square GEMM sizes across the small-matrix fast
+// path and the blocked kernel, at one worker and at the pool width.
+func BenchmarkMatMul(b *testing.B) {
+	for _, n := range []int{32, 64, 128, 256} {
+		for _, workers := range []int{1, 4} {
+			b.Run(fmt.Sprintf("n%d/workers%d", n, workers), func(b *testing.B) {
+				prev := tensor.SetParallelism(workers)
+				defer tensor.SetParallelism(prev)
+				x := tensor.New(n, n)
+				y := tensor.New(n, n)
+				x.Fill(0.5)
+				y.Fill(0.25)
+				dst := tensor.New(n, n)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := tensor.MatMulInto(dst, x, y); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkConv2DForward sweeps convolution shapes through the pooled
+// im2col + GEMM forward (batch > 1 shards across the worker pool).
+func BenchmarkConv2DForward(b *testing.B) {
+	cases := []struct{ n, ch, size int }{
+		{1, 16, 16},
+		{8, 16, 16},
+		{1, 32, 32},
+		{8, 32, 32},
+	}
+	for _, c := range cases {
+		b.Run(fmt.Sprintf("n%d_c%d_s%d", c.n, c.ch, c.size), func(b *testing.B) {
+			p := tensor.Conv2DParams{InChannels: c.ch, OutChannels: 2 * c.ch, Kernel: 3, Stride: 1, Padding: 1}
+			x := tensor.New(c.n, c.ch, c.size, c.size)
+			w := tensor.New(2*c.ch, c.ch, 3, 3)
+			x.Fill(0.5)
+			w.Fill(0.1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				y, err := tensor.Conv2D(x, w, nil, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tensor.Release(y)
+			}
+		})
+	}
+}
+
+// BenchmarkResNetForward times a batch-8 inference through
+// Model.ForwardBatch at one worker (the serial c(s) baseline) and at four
+// (the parallel hot path); the ratio is the multicore speedup.
+func BenchmarkResNetForward(b *testing.B) {
+	m := dnn.BuildResNet18(dnn.ResNetConfig{
+		InChannels: 3, NumClasses: 61, BaseWidth: 16,
+		StageBlocks: [4]int{2, 2, 2, 2}, Seed: 1,
+	})
+	x := tensor.New(8, 3, 16, 16)
+	x.Fill(1)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("batch8/workers%d", workers), func(b *testing.B) {
+			prev := tensor.SetParallelism(workers)
+			defer tensor.SetParallelism(prev)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				y, err := m.ForwardBatch(x)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tensor.Release(y)
+			}
+		})
 	}
 }
 
@@ -263,6 +361,7 @@ func BenchmarkEmulation20s(b *testing.B) {
 	}
 	cfg := DefaultEmulatorConfig()
 	cfg.Duration = 20 * time.Second
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		em, err := NewEmulator(in, dep, cfg)
@@ -297,6 +396,7 @@ func BenchmarkSolveHeterogeneousLarge(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.SolveOffloaDNN(in); err != nil {
@@ -330,6 +430,7 @@ func BenchmarkEpochResolve(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := srv.ForceResolve(); err != nil {
@@ -368,6 +469,7 @@ func BenchmarkIncrementalChurn(b *testing.B) {
 	if _, err := sess.Resolve(ctx, core.TaskDelta{}); err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var delta core.TaskDelta
@@ -389,6 +491,7 @@ func BenchmarkFullResolveChurn(b *testing.B) {
 	in, _ := churnBench(b)
 	with := in.Tasks
 	without := append([]core.Task(nil), in.Tasks[:len(in.Tasks)-1]...)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if i%2 == 0 {
@@ -410,6 +513,7 @@ func BenchmarkSolveOptimalParallelT4(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := core.SolveOptimalParallel(in, 0); err != nil {

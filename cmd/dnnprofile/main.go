@@ -32,6 +32,7 @@ func run() int {
 	classes := flag.Int("classes", 61, "classifier classes")
 	pruneRatio := flag.Float64("prune", 0, "structured prune ratio applied to all stages (0..0.95)")
 	repeats := flag.Int("repeats", 9, "timed repetitions per block (median reported)")
+	workers := flag.Int("workers", 1, "tensor parallelism during timing (1 = serial c(s) baseline)")
 	flag.Parse()
 
 	var m *dnn.Model
@@ -59,14 +60,14 @@ func run() int {
 		return 2
 	}
 
-	p := profile.Profiler{ImageSize: *image, Repeats: *repeats, Warmup: 2}
+	p := profile.Profiler{ImageSize: *image, Repeats: *repeats, Warmup: 2, Workers: *workers}
 	costs, err := p.ProfileModel(m)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dnnprofile:", err)
 		return 1
 	}
 
-	fmt.Printf("%s  width=%d  input=%dx%d  params=%d\n", *arch, *width, *image, *image, m.ParamCount())
+	fmt.Printf("%s  width=%d  input=%dx%d  workers=%d  params=%d\n", *arch, *width, *image, *image, *workers, m.ParamCount())
 	fmt.Printf("%-24s %6s %14s %12s %10s\n", "block", "stage", "compute", "memory", "params")
 	for _, c := range costs {
 		fmt.Printf("%-24s %6d %14v %11.1fKB %10d\n",

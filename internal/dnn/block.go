@@ -66,14 +66,20 @@ func (b *Block) Layers() []Layer {
 	return out
 }
 
-// Forward runs all layers in order.
+// Forward runs all layers in order. At inference the pooled intermediate
+// activations are released as soon as the next layer has consumed them, so
+// a steady-state forward pass recycles a fixed set of buffers.
 func (b *Block) Forward(x *tensor.Tensor, training bool) (*tensor.Tensor, error) {
-	var err error
+	in := x
 	for _, l := range b.layers {
-		x, err = l.Forward(x, training)
+		y, err := l.Forward(x, training)
 		if err != nil {
 			return nil, fmt.Errorf("block %s: %w", b.ID, err)
 		}
+		if !training {
+			releaseChain(x, in, y)
+		}
+		x = y
 	}
 	return x, nil
 }

@@ -94,6 +94,15 @@ func (l *ConvLayer) Forward(x *tensor.Tensor, training bool) (*tensor.Tensor, er
 	return y, nil
 }
 
+// releaseChain frees a pooled intermediate activation of an inference
+// forward chain. It refuses to release the chain input (caller-owned)
+// and the value being carried forward.
+func releaseChain(t, in, out *tensor.Tensor) {
+	if t != in && t != out {
+		tensor.Release(t)
+	}
+}
+
 // Backward implements Layer.
 func (l *ConvLayer) Backward(dy *tensor.Tensor) (*tensor.Tensor, error) {
 	if !l.hasFwd {
@@ -111,6 +120,10 @@ func (l *ConvLayer) Backward(dy *tensor.Tensor) (*tensor.Tensor, error) {
 			return nil, err
 		}
 	}
+	// The weight gradients were folded into the layer accumulators;
+	// recycle their pooled storage. DX travels up the chain.
+	tensor.Release(grads.DW)
+	tensor.Release(grads.DB)
 	return grads.DX, nil
 }
 
@@ -162,6 +175,16 @@ func (l *BatchNormLayer) Name() string { return l.name }
 
 // Forward implements Layer.
 func (l *BatchNormLayer) Forward(x *tensor.Tensor, training bool) (*tensor.Tensor, error) {
+	if !training && x.Rank() == 4 {
+		// Inference fast path: running statistics into a pooled output,
+		// no xhat cache, no result struct.
+		y := tensor.RentLike(x)
+		if err := tensor.BatchNorm2DInto(y, x, l.State); err != nil {
+			tensor.Release(y)
+			return nil, fmt.Errorf("bn %s: %w", l.name, err)
+		}
+		return y, nil
+	}
 	res, err := tensor.BatchNorm2D(x, l.State, training)
 	if err != nil {
 		return nil, fmt.Errorf("bn %s: %w", l.name, err)
@@ -220,10 +243,16 @@ func (l *ReLULayer) Name() string { return l.name }
 
 // Forward implements Layer.
 func (l *ReLULayer) Forward(x *tensor.Tensor, training bool) (*tensor.Tensor, error) {
-	y, mask := tensor.ReLU(x)
-	if training {
-		l.mask = mask
+	if !training {
+		y := tensor.RentLike(x)
+		if err := tensor.ReLUInto(y, x); err != nil {
+			tensor.Release(y)
+			return nil, fmt.Errorf("relu %s: %w", l.name, err)
+		}
+		return y, nil
 	}
+	y, mask := tensor.ReLU(x)
+	l.mask = mask
 	return y, nil
 }
 
@@ -265,6 +294,17 @@ func (l *MaxPoolLayer) Name() string { return l.name }
 
 // Forward implements Layer.
 func (l *MaxPoolLayer) Forward(x *tensor.Tensor, training bool) (*tensor.Tensor, error) {
+	if !training && x.Rank() == 4 {
+		oh, ow := l.P.OutSize(x.Dim(2), x.Dim(3))
+		if oh > 0 && ow > 0 {
+			y := tensor.Rent(x.Dim(0), x.Dim(1), oh, ow)
+			if err := tensor.MaxPool2DInto(y, x, l.P); err != nil {
+				tensor.Release(y)
+				return nil, fmt.Errorf("maxpool %s: %w", l.name, err)
+			}
+			return y, nil
+		}
+	}
 	res, err := tensor.MaxPool2D(x, l.P)
 	if err != nil {
 		return nil, fmt.Errorf("maxpool %s: %w", l.name, err)
@@ -312,6 +352,14 @@ func (l *GlobalAvgPoolLayer) Name() string { return l.name }
 
 // Forward implements Layer.
 func (l *GlobalAvgPoolLayer) Forward(x *tensor.Tensor, training bool) (*tensor.Tensor, error) {
+	if !training && x.Rank() == 4 {
+		y := tensor.Rent(x.Dim(0), x.Dim(1))
+		if err := tensor.GlobalAvgPool2DInto(y, x); err != nil {
+			tensor.Release(y)
+			return nil, fmt.Errorf("gap %s: %w", l.name, err)
+		}
+		return y, nil
+	}
 	y, err := tensor.GlobalAvgPool2D(x)
 	if err != nil {
 		return nil, fmt.Errorf("gap %s: %w", l.name, err)

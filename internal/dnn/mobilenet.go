@@ -78,29 +78,41 @@ func (b *invertedResidual) Name() string { return b.name }
 
 // Forward implements Layer.
 func (b *invertedResidual) Forward(x *tensor.Tensor, training bool) (*tensor.Tensor, error) {
+	// At inference each consumed pooled intermediate is released right
+	// after the next layer produces its output.
+	step := func(l Layer, in *tensor.Tensor) (*tensor.Tensor, error) {
+		out, err := l.Forward(in, training)
+		if err != nil {
+			return nil, err
+		}
+		if !training {
+			releaseChain(in, x, out)
+		}
+		return out, nil
+	}
 	h, err := b.Expand.Forward(x, training)
 	if err != nil {
 		return nil, err
 	}
-	if h, err = b.BNe.Forward(h, training); err != nil {
+	if h, err = step(b.BNe, h); err != nil {
 		return nil, err
 	}
-	if h, err = b.ReluE.Forward(h, training); err != nil {
+	if h, err = step(b.ReluE, h); err != nil {
 		return nil, err
 	}
-	if h, err = b.Mid.Forward(h, training); err != nil {
+	if h, err = step(b.Mid, h); err != nil {
 		return nil, err
 	}
-	if h, err = b.BNm.Forward(h, training); err != nil {
+	if h, err = step(b.BNm, h); err != nil {
 		return nil, err
 	}
-	if h, err = b.ReluM.Forward(h, training); err != nil {
+	if h, err = step(b.ReluM, h); err != nil {
 		return nil, err
 	}
-	if h, err = b.Proj.Forward(h, training); err != nil {
+	if h, err = step(b.Proj, h); err != nil {
 		return nil, err
 	}
-	if h, err = b.BNp.Forward(h, training); err != nil {
+	if h, err = step(b.BNp, h); err != nil {
 		return nil, err
 	}
 	if b.residual {

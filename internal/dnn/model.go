@@ -2,6 +2,7 @@ package dnn
 
 import (
 	"fmt"
+	"sync"
 
 	"offloadnn/internal/tensor"
 )
@@ -17,16 +18,85 @@ type Model struct {
 	Blocks []*Block
 }
 
-// Forward runs the full model.
+// Forward runs the full model. At inference the pooled activation passed
+// between blocks is released once the next block has consumed it.
 func (m *Model) Forward(x *tensor.Tensor, training bool) (*tensor.Tensor, error) {
-	var err error
+	in := x
 	for _, b := range m.Blocks {
-		x, err = b.Forward(x, training)
+		y, err := b.Forward(x, training)
 		if err != nil {
 			return nil, fmt.Errorf("model %s: %w", m.Arch, err)
 		}
+		if !training {
+			releaseChain(x, in, y)
+		}
+		x = y
 	}
 	return x, nil
+}
+
+// ForwardBatch runs an inference-only forward pass, sharding the batch
+// across up to tensor.Parallelism() goroutines. Each shard is a contiguous
+// view of the input's NCHW storage run through Forward independently; since
+// every layer is per-sample at inference (batch norm uses running
+// statistics), the assembled output matches Forward(x, false) bit for bit.
+// The shards use plain goroutines rather than the tensor worker pool, so
+// the kernels inside each shard remain free to use the pool.
+func (m *Model) ForwardBatch(x *tensor.Tensor) (*tensor.Tensor, error) {
+	workers := tensor.Parallelism()
+	if x.Rank() != 4 || workers <= 1 || x.Dim(0) <= 1 {
+		return m.Forward(x, false)
+	}
+	n := x.Dim(0)
+	if workers > n {
+		workers = n
+	}
+	per := x.Len() / n
+	bounds := make([][2]int, workers)
+	for i, lo := 0, 0; i < workers; i++ {
+		sz := n / workers
+		if i < n%workers {
+			sz++
+		}
+		bounds[i] = [2]int{lo, lo + sz}
+		lo += sz
+	}
+	outs := make([]*tensor.Tensor, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			lo, hi := bounds[i][0], bounds[i][1]
+			shape := x.Shape()
+			shape[0] = hi - lo
+			chunk, err := tensor.FromSlice(x.Data()[lo*per:hi*per], shape...)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			outs[i], errs[i] = m.Forward(chunk, false)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			for _, o := range outs {
+				tensor.Release(o)
+			}
+			return nil, fmt.Errorf("model %s: batch shard %d: %w", m.Arch, i, err)
+		}
+	}
+	outPer := outs[0].Len() / (bounds[0][1] - bounds[0][0])
+	shape := outs[0].Shape()
+	shape[0] = n
+	y := tensor.Rent(shape...)
+	for i, o := range outs {
+		copy(y.Data()[bounds[i][0]*outPer:], o.Data())
+		tensor.Release(o)
+	}
+	return y, nil
 }
 
 // Backward propagates the loss gradient through all blocks (frozen blocks

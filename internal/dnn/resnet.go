@@ -68,35 +68,57 @@ func (b *BasicBlock) Forward(x *tensor.Tensor, training bool) (*tensor.Tensor, e
 	if err != nil {
 		return nil, err
 	}
+	prev := h
 	if h, err = b.BN1.Forward(h, training); err != nil {
 		return nil, err
 	}
+	if !training {
+		releaseChain(prev, x, h)
+	}
+	prev = h
 	if h, err = b.Relu1.Forward(h, training); err != nil {
 		return nil, err
 	}
+	if !training {
+		releaseChain(prev, x, h)
+	}
+	prev = h
 	if h, err = b.Conv2.Forward(h, training); err != nil {
 		return nil, err
 	}
+	if !training {
+		releaseChain(prev, x, h)
+	}
+	prev = h
 	if h, err = b.BN2.Forward(h, training); err != nil {
 		return nil, err
+	}
+	if !training {
+		releaseChain(prev, x, h)
 	}
 	skip := x
 	if b.DownConv != nil {
 		if skip, err = b.DownConv.Forward(x, training); err != nil {
 			return nil, err
 		}
+		prev = skip
 		if skip, err = b.DownBN.Forward(skip, training); err != nil {
 			return nil, err
+		}
+		if !training {
+			releaseChain(prev, x, skip)
 		}
 	}
 	if err = h.AddInPlace(skip); err != nil {
 		return nil, fmt.Errorf("block %s residual add: %w", b.name, err)
 	}
-	mask := tensor.ReLUInPlace(h)
-	if training {
-		b.relu2Mask = mask
-		b.lastX = x
+	if !training {
+		releaseChain(skip, x, h)
+		tensor.ReLUInPlaceInfer(h)
+		return h, nil
 	}
+	b.relu2Mask = tensor.ReLUInPlace(h)
+	b.lastX = x
 	return h, nil
 }
 

@@ -34,6 +34,12 @@ type EmulatorConfig struct {
 	// targets with headroom; 1.0 means the link delivers exactly the
 	// planning rate (slices sized at ρ = 1 then oscillate).
 	LinkRateFactor float64
+	// ComputeScale multiplies every path compute time (0 = 1.0, unscaled).
+	// The c(s^d) tables are characterized at a single worker; when an edge
+	// node runs the parallel kernels, profile the path at that worker count
+	// and set ComputeScale to the measured ratio c_parallel/c_serial to
+	// emulate the faster executor without re-deriving the tables.
+	ComputeScale float64
 	// Seed drives the jitter.
 	Seed int64
 }
@@ -150,11 +156,15 @@ func (e *Emulator) Run() (*Result, error) {
 			b *= f
 		}
 		tx := time.Duration(a.Bits(task) / (b * float64(a.RBs)) * float64(time.Second))
+		proc := e.inst.PathCompute(a.Path)
+		if e.cfg.ComputeScale > 0 {
+			proc *= e.cfg.ComputeScale
+		}
 		states = append(states, &taskState{
 			idx:      i,
 			rate:     e.deploy.AdmittedRates[task.ID],
 			txTime:   tx,
-			procTime: e.inst.PathCompute(a.Path),
+			procTime: proc,
 		})
 	}
 	// Traces live in res.Traces; point states at them.

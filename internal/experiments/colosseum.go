@@ -9,7 +9,7 @@ import (
 	"offloadnn/internal/workload"
 )
 
-func runFig11(Options) ([]Table, error) {
+func runFig11(opt Options) ([]Table, error) {
 	in, err := workload.SmallScenario(5)
 	if err != nil {
 		return nil, err
@@ -22,7 +22,11 @@ func runFig11(Options) ([]Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	em, err := edge.NewEmulator(in, dep, edge.DefaultEmulatorConfig())
+	cfg := edge.DefaultEmulatorConfig()
+	if opt.Workers > 0 {
+		cfg.Workers = opt.Workers
+	}
+	em, err := edge.NewEmulator(in, dep, cfg)
 	if err != nil {
 		return nil, err
 	}

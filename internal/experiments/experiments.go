@@ -123,6 +123,10 @@ type Options struct {
 	// Quick skips the slowest steps (the exhaustive optimum at T = 5 and
 	// long training sweeps) so the whole suite runs in seconds.
 	Quick bool
+	// Workers sets the tensor parallelism for the compute-time
+	// characterizations (fig3 profiling and the fig11 emulator). Zero keeps
+	// the single-worker measurement the calibrated tables were built from.
+	Workers int
 }
 
 // Experiment is one reproducible artifact generator.

@@ -202,13 +202,13 @@ func runFig2Real(opt Options) ([]Table, error) {
 	return []Table{t}, nil
 }
 
-func runFig3(Options) ([]Table, error) {
+func runFig3(opt Options) ([]Table, error) {
 	// Build the base backbone once; each configuration derives from it.
 	base := dnn.BuildResNet18(dnn.ResNetConfig{
 		InChannels: 3, NumClasses: 61, BaseWidth: 16,
 		StageBlocks: [4]int{2, 2, 2, 2}, Seed: 13,
 	})
-	prof := profile.Profiler{ImageSize: 16, Repeats: 9, Warmup: 2}
+	prof := profile.Profiler{ImageSize: 16, Repeats: 9, Warmup: 2, Workers: opt.Workers}
 
 	type measured struct {
 		name    string

@@ -41,6 +41,11 @@ type Profiler struct {
 	Repeats int
 	// Warmup passes run before timing starts.
 	Warmup int
+	// Workers is the tensor parallelism the measurement runs at. Zero (the
+	// default) and one both time the serial kernels, so existing c(s)
+	// tables stay comparable; larger values characterize the compute time
+	// an edge node with that many cores would observe.
+	Workers int
 }
 
 // DefaultProfiler returns a configuration suitable for tests and the
@@ -56,14 +61,24 @@ func (p Profiler) ProfileModel(m *dnn.Model) ([]BlockCost, error) {
 	if p.Repeats < 1 {
 		return nil, fmt.Errorf("%w: repeats %d < 1", ErrProfile, p.Repeats)
 	}
+	workers := p.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	prev := tensor.SetParallelism(workers)
+	defer tensor.SetParallelism(prev)
 	x := tensor.New(1, 3, p.ImageSize, p.ImageSize)
 	x.Fill(1)
 
 	costs := make([]BlockCost, 0, len(m.Blocks))
 	for _, b := range m.Blocks {
 		for i := 0; i < p.Warmup; i++ {
-			if _, err := b.Forward(x, false); err != nil {
+			y, err := b.Forward(x, false)
+			if err != nil {
 				return nil, fmt.Errorf("%w: block %s warmup: %v", ErrProfile, b.ID, err)
+			}
+			if y != x {
+				tensor.Release(y)
 			}
 		}
 		samples := make([]time.Duration, p.Repeats)
@@ -75,6 +90,9 @@ func (p Profiler) ProfileModel(m *dnn.Model) ([]BlockCost, error) {
 				return nil, fmt.Errorf("%w: block %s: %v", ErrProfile, b.ID, err)
 			}
 			samples[i] = time.Since(start)
+			if out != nil && out != x {
+				tensor.Release(out)
+			}
 			out = y
 		}
 		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
@@ -85,6 +103,9 @@ func (p Profiler) ProfileModel(m *dnn.Model) ([]BlockCost, error) {
 			MemoryBytes: b.MemoryBytes(),
 			Params:      b.ParamCount(),
 		})
+		if out != x {
+			tensor.Release(x)
+		}
 		x = out
 	}
 	return costs, nil

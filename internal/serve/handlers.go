@@ -254,18 +254,35 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		epoch = ep.N
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	// family writes the exposition-format metadata once per metric family.
+	family := func(name, typ, help string) {
+		fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+		fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+	}
+	family("offloadnn_uptime_seconds", "gauge", "Seconds since the server started.")
 	fmt.Fprintf(w, "offloadnn_uptime_seconds %g\n", s.cfg.Now().Sub(s.stats.start).Seconds())
+	family("offloadnn_tasks_registered", "gauge", "Tasks currently registered with the controller.")
 	fmt.Fprintf(w, "offloadnn_tasks_registered %d\n", s.reg.Len())
+	family("offloadnn_epoch", "counter", "Sequence number of the active deployment epoch.")
 	fmt.Fprintf(w, "offloadnn_epoch %d\n", epoch)
+	family("offloadnn_solves_total", "counter", "DOT solver invocations.")
 	fmt.Fprintf(w, "offloadnn_solves_total %d\n", s.stats.Solves())
+	family("offloadnn_solve_errors_total", "counter", "DOT solver invocations that failed.")
 	fmt.Fprintf(w, "offloadnn_solve_errors_total %d\n", s.stats.SolveErrors())
+	family("offloadnn_solve_duration_seconds", "gauge", "Duration of the most recent solve.")
 	fmt.Fprintf(w, "offloadnn_solve_duration_seconds %g\n", s.stats.LastSolveLatency().Seconds())
+	family("offloadnn_offload_requests_total", "counter", "Offload requests received.")
 	fmt.Fprintf(w, "offloadnn_offload_requests_total %d\n", s.stats.Requests())
+	family("offloadnn_offload_admitted_total", "counter", "Offload requests admitted, per task.")
 	for _, id := range s.stats.taskIDs() {
 		fmt.Fprintf(w, "offloadnn_offload_admitted_total{task=%q} %d\n", id, s.stats.Admitted(id))
+	}
+	family("offloadnn_offload_rejected_total", "counter", "Offload requests rejected, per task.")
+	for _, id := range s.stats.taskIDs() {
 		fmt.Fprintf(w, "offloadnn_offload_rejected_total{task=%q} %d\n", id, s.stats.Rejected(id))
 	}
 	if ep != nil && ep.Deployment != nil {
+		family("offloadnn_admitted_rate", "gauge", "Admitted frame rate z*lambda per task, frames/s.")
 		for i := range ep.Tasks {
 			id := ep.Tasks[i].ID
 			if rate := ep.AdmittedRate(id); rate > 0 {
@@ -273,8 +290,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+	family("offloadnn_latency_samples", "gauge", "End-to-end latency samples in the quantile window.")
 	fmt.Fprintf(w, "offloadnn_latency_samples %d\n", s.stats.latency.Len())
 	if qs, err := s.stats.latency.Quantiles(50, 95, 99); err == nil {
+		family("offloadnn_latency_seconds", "summary", "End-to-end offload latency quantiles.")
 		for i, q := range []string{"0.5", "0.95", "0.99"} {
 			fmt.Fprintf(w, "offloadnn_latency_seconds{quantile=%q} %g\n", q, qs[i])
 		}

@@ -32,6 +32,33 @@ func ReLUInPlace(x *Tensor) []bool {
 	return mask
 }
 
+// ReLUInto writes max(0, x) into dst without computing a backward mask —
+// the inference fast path. dst must have x's element count; its previous
+// contents are overwritten.
+func ReLUInto(dst, x *Tensor) error {
+	if dst.Len() != x.Len() {
+		return fmt.Errorf("%w: relu dst has %d elems, x %d", ErrShape, dst.Len(), x.Len())
+	}
+	for i, v := range x.data {
+		if v > 0 {
+			dst.data[i] = v
+		} else {
+			dst.data[i] = 0
+		}
+	}
+	return nil
+}
+
+// ReLUInPlaceInfer applies max(0, x) in place without allocating the
+// backward mask — the inference counterpart of ReLUInPlace.
+func ReLUInPlaceInfer(x *Tensor) {
+	for i, v := range x.data {
+		if v < 0 {
+			x.data[i] = 0
+		}
+	}
+}
+
 // ReLUBackward masks the upstream gradient with the forward activation mask.
 func ReLUBackward(dy *Tensor, mask []bool) (*Tensor, error) {
 	if dy.Len() != len(mask) {

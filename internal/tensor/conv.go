@@ -47,10 +47,8 @@ func im2col(dst []float64, src []float64, c, h, w int, p Conv2DParams, oh, ow in
 				for oy := 0; oy < oh; oy++ {
 					iy := oy*p.Stride + ky - p.Padding
 					if iy < 0 || iy >= h {
-						for ox := 0; ox < ow; ox++ {
-							row[idx] = 0
-							idx++
-						}
+						fill(row[idx:idx+ow], 0)
+						idx += ow
 						continue
 					}
 					base := iy * w
@@ -99,57 +97,125 @@ func col2im(dst []float64, src []float64, c, h, w int, p Conv2DParams, oh, ow in
 	}
 }
 
+// checkConv2DArgs validates the (x, weight, bias, p) triple shared by
+// Conv2D and Conv2DInto and returns the batch and spatial dimensions.
+func checkConv2DArgs(x, weight, bias *Tensor, p Conv2DParams) (n, c, h, w, oh, ow int, err error) {
+	if err = p.validate(); err != nil {
+		return
+	}
+	if x.Rank() != 4 {
+		err = fmt.Errorf("%w: conv input must be rank-4 NCHW, got %v", ErrShape, x.shape)
+		return
+	}
+	n, c, h, w = x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	if c != p.InChannels {
+		err = fmt.Errorf("%w: conv input has %d channels, params say %d", ErrShape, c, p.InChannels)
+		return
+	}
+	if weight.Rank() != 4 || weight.shape[0] != p.OutChannels || weight.shape[1] != p.InChannels ||
+		weight.shape[2] != p.Kernel || weight.shape[3] != p.Kernel {
+		err = fmt.Errorf("%w: conv weight shape %v, want %v", ErrShape, weight.shape,
+			[]int{p.OutChannels, p.InChannels, p.Kernel, p.Kernel})
+		return
+	}
+	if bias != nil && (bias.Rank() != 1 || bias.shape[0] != p.OutChannels) {
+		err = fmt.Errorf("%w: conv bias shape %v, want [%d]", ErrShape, bias.shape, p.OutChannels)
+		return
+	}
+	oh, ow = p.OutSize(h, w)
+	if oh <= 0 || ow <= 0 {
+		err = fmt.Errorf("%w: conv output size %dx%d for input %dx%d", ErrShape, oh, ow, h, w)
+	}
+	return
+}
+
 // Conv2D computes a batched 2-D convolution.
 //
 // Input x has shape (N, Cin, H, W); weight has shape (Cout, Cin, K, K);
 // bias (optional, may be nil) has shape (Cout). The result has shape
-// (N, Cout, OH, OW).
+// (N, Cout, OH, OW). The returned tensor is pool-backed (see Rent); the
+// caller may Release it once consumed.
 func Conv2D(x, weight, bias *Tensor, p Conv2DParams) (*Tensor, error) {
-	if err := p.validate(); err != nil {
+	n, _, _, _, oh, ow, err := checkConv2DArgs(x, weight, bias, p)
+	if err != nil {
 		return nil, err
 	}
-	if x.Rank() != 4 {
-		return nil, fmt.Errorf("%w: conv input must be rank-4 NCHW, got %v", ErrShape, x.shape)
-	}
-	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
-	if c != p.InChannels {
-		return nil, fmt.Errorf("%w: conv input has %d channels, params say %d", ErrShape, c, p.InChannels)
-	}
-	wantW := []int{p.OutChannels, p.InChannels, p.Kernel, p.Kernel}
-	if weight.Rank() != 4 || weight.shape[0] != wantW[0] || weight.shape[1] != wantW[1] ||
-		weight.shape[2] != wantW[2] || weight.shape[3] != wantW[3] {
-		return nil, fmt.Errorf("%w: conv weight shape %v, want %v", ErrShape, weight.shape, wantW)
-	}
-	if bias != nil && (bias.Rank() != 1 || bias.shape[0] != p.OutChannels) {
-		return nil, fmt.Errorf("%w: conv bias shape %v, want [%d]", ErrShape, bias.shape, p.OutChannels)
-	}
-	oh, ow := p.OutSize(h, w)
-	if oh <= 0 || ow <= 0 {
-		return nil, fmt.Errorf("%w: conv output size %dx%d for input %dx%d", ErrShape, oh, ow, h, w)
-	}
+	out := rentRaw(n, p.OutChannels, oh, ow)
+	conv2DInto(out.data, x, weight, bias, p, oh, ow)
+	return out, nil
+}
 
-	out := New(n, p.OutChannels, oh, ow)
+// Conv2DInto computes the convolution into dst, which must already have
+// shape (N, Cout, OH, OW). Its previous contents are overwritten.
+func Conv2DInto(dst, x, weight, bias *Tensor, p Conv2DParams) error {
+	n, _, _, _, oh, ow, err := checkConv2DArgs(x, weight, bias, p)
+	if err != nil {
+		return err
+	}
+	if dst.Rank() != 4 || dst.shape[0] != n || dst.shape[1] != p.OutChannels ||
+		dst.shape[2] != oh || dst.shape[3] != ow {
+		return fmt.Errorf("%w: conv dst shape %v, want [%d %d %d %d]",
+			ErrShape, dst.shape, n, p.OutChannels, oh, ow)
+	}
+	conv2DInto(dst.data, x, weight, bias, p, oh, ow)
+	return nil
+}
+
+// conv2DInto is the validated kernel body. Above a flop cutoff it shards
+// the batch dimension across the worker pool, each shard running the
+// serial per-image kernel with its own pooled im2col buffer (batch items
+// are independent, so results are bit-identical to the serial loop). A
+// single large image instead parallelizes the GEMM row panels.
+func conv2DInto(out []float64, x, weight, bias *Tensor, p Conv2DParams, oh, ow int) {
+	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
 	patch := p.InChannels * p.Kernel * p.Kernel
 	cols := oh * ow
-	colBuf := make([]float64, patch*cols)
 	imgLen := c * h * w
 	outLen := p.OutChannels * cols
+	var biasData []float64
+	if bias != nil {
+		biasData = bias.data
+	}
 
+	flops := n * p.OutChannels * patch * cols
+	if n > 1 && Parallelism() > 1 && flops >= gemmParallelCutoff {
+		// Batch shards are leaves on the pool: the per-image matmul must
+		// stay serial (see the nesting rule in parallel.go).
+		parallelFor(n, 1, func(lo, hi int) {
+			colBuf := getF64(patch * cols)
+			for b := lo; b < hi; b++ {
+				convImage(out[b*outLen:(b+1)*outLen], x.data[b*imgLen:(b+1)*imgLen],
+					weight.data, biasData, colBuf, c, h, w, p, oh, ow, patch, cols, matmulInto)
+			}
+			putF64(colBuf)
+		})
+		return
+	}
+	colBuf := getF64(patch * cols)
 	for b := 0; b < n; b++ {
-		im2col(colBuf, x.data[b*imgLen:(b+1)*imgLen], c, h, w, p, oh, ow)
-		// out[b] = weight (Cout×patch) · colBuf (patch×cols)
-		matmulInto(out.data[b*outLen:(b+1)*outLen], weight.data, colBuf, p.OutChannels, patch, cols)
-		if bias != nil {
-			for oc := 0; oc < p.OutChannels; oc++ {
-				bo := bias.data[oc]
-				row := out.data[b*outLen+oc*cols : b*outLen+(oc+1)*cols]
-				for i := range row {
-					row[i] += bo
-				}
+		// Serial over the batch: the GEMM may parallelize its row panels.
+		convImage(out[b*outLen:(b+1)*outLen], x.data[b*imgLen:(b+1)*imgLen],
+			weight.data, biasData, colBuf, c, h, w, p, oh, ow, patch, cols, gemm)
+	}
+	putF64(colBuf)
+}
+
+// convImage computes one image's output plane: im2col into colBuf, then
+// out = weight (Cout×patch) · colBuf (patch×cols), plus bias. A top-level
+// function so the serial batch loop allocates nothing per call.
+func convImage(out, xImg, wData, biasData, colBuf []float64, c, h, w int,
+	p Conv2DParams, oh, ow, patch, cols int, mm func(dst, a, b []float64, m, k, n int)) {
+	im2col(colBuf, xImg, c, h, w, p, oh, ow)
+	mm(out, wData, colBuf, p.OutChannels, patch, cols)
+	if biasData != nil {
+		for oc := 0; oc < p.OutChannels; oc++ {
+			bo := biasData[oc]
+			row := out[oc*cols : (oc+1)*cols]
+			for i := range row {
+				row[i] += bo
 			}
 		}
 	}
-	return out, nil
 }
 
 // Conv2DGrads holds the gradients produced by Conv2DBackward.
@@ -159,9 +225,26 @@ type Conv2DGrads struct {
 	DB *Tensor // gradient w.r.t. the bias; nil when bias was nil
 }
 
+// Release returns all gradient tensors to the scratch pool.
+func (g *Conv2DGrads) Release() {
+	if g == nil {
+		return
+	}
+	Release(g.DX)
+	Release(g.DW)
+	Release(g.DB)
+	g.DX, g.DW, g.DB = nil, nil, nil
+}
+
 // Conv2DBackward computes gradients of a Conv2D call given the upstream
 // gradient dy (shape N×Cout×OH×OW), the original input x and weight.
 // Set hasBias to indicate whether a bias gradient is needed.
+//
+// Above a flop cutoff the batch dimension is sharded across the worker
+// pool: dx planes are disjoint per image, while dW/dB accumulate into
+// per-shard pooled scratch reduced in shard order, so the result is
+// deterministic for a fixed parallelism (and equal to the serial result
+// up to floating-point reassociation of the batch sum).
 func Conv2DBackward(dy, x, weight *Tensor, p Conv2DParams, hasBias bool) (*Conv2DGrads, error) {
 	if err := p.validate(); err != nil {
 		return nil, err
@@ -178,26 +261,25 @@ func Conv2DBackward(dy, x, weight *Tensor, p Conv2DParams, hasBias bool) (*Conv2
 	cols := oh * ow
 	imgLen := c * h * w
 	outLen := p.OutChannels * cols
+	wLen := p.OutChannels * patch
 
 	grads := &Conv2DGrads{
-		DX: New(x.shape...),
-		DW: New(weight.shape...),
+		DX: Rent(x.shape...),
+		DW: Rent(weight.shape...),
 	}
 	if hasBias {
-		grads.DB = New(p.OutChannels)
+		grads.DB = Rent(p.OutChannels)
 	}
 
-	colBuf := make([]float64, patch*cols)
-	dColBuf := make([]float64, patch*cols)
-	dwAccum := grads.DW.data
-
-	for b := 0; b < n; b++ {
+	// backwardOne accumulates image b's contribution into dwAcc/dbAcc and
+	// writes its (disjoint) dx plane.
+	backwardOne := func(colBuf, dColBuf, dwAcc, dbAcc []float64, b int) {
 		dyb := dy.data[b*outLen : (b+1)*outLen]
 		// dW += dy[b] (Cout×cols) · colBufᵀ (cols×patch)
 		im2col(colBuf, x.data[b*imgLen:(b+1)*imgLen], c, h, w, p, oh, ow)
 		for oc := 0; oc < p.OutChannels; oc++ {
 			dyRow := dyb[oc*cols : (oc+1)*cols]
-			dwRow := dwAccum[oc*patch : (oc+1)*patch]
+			dwRow := dwAcc[oc*patch : (oc+1)*patch]
 			for pi := 0; pi < patch; pi++ {
 				colRow := colBuf[pi*cols : (pi+1)*cols]
 				s := 0.0
@@ -211,13 +293,11 @@ func Conv2DBackward(dy, x, weight *Tensor, p Conv2DParams, hasBias bool) (*Conv2
 				for _, g := range dyRow {
 					s += g
 				}
-				grads.DB.data[oc] += s
+				dbAcc[oc] += s
 			}
 		}
 		// dCol = weightᵀ (patch×Cout) · dy[b] (Cout×cols)
-		for i := range dColBuf {
-			dColBuf[i] = 0
-		}
+		fill(dColBuf, 0)
 		for oc := 0; oc < p.OutChannels; oc++ {
 			wRow := weight.data[oc*patch : (oc+1)*patch]
 			dyRow := dyb[oc*cols : (oc+1)*cols]
@@ -233,5 +313,70 @@ func Conv2DBackward(dy, x, weight *Tensor, p Conv2DParams, hasBias bool) (*Conv2
 		}
 		col2im(grads.DX.data[b*imgLen:(b+1)*imgLen], dColBuf, c, h, w, p, oh, ow)
 	}
+
+	flops := n * p.OutChannels * patch * cols
+	spans := shardPlan(n, 1)
+	if len(spans) > 1 && flops >= gemmParallelCutoff {
+		// Shard 0 accumulates directly into grads; shards 1.. use pooled
+		// accumulators merged afterwards in shard order.
+		nAux := len(spans) - 1
+		auxDW := getF64(nAux * wLen)
+		fill(auxDW, 0)
+		var auxDB []float64
+		if hasBias {
+			auxDB = getF64(nAux * p.OutChannels)
+			fill(auxDB, 0)
+		}
+		runShards(spans, func(si, lo, hi int) {
+			colBuf := getF64(patch * cols)
+			dColBuf := getF64(patch * cols)
+			dwAcc, dbAcc := grads.DW.data, []float64(nil)
+			if hasBias {
+				dbAcc = grads.DB.data
+			}
+			if si != 0 {
+				dwAcc = auxDW[(si-1)*wLen : si*wLen]
+				if hasBias {
+					dbAcc = auxDB[(si-1)*p.OutChannels : si*p.OutChannels]
+				}
+			}
+			for b := lo; b < hi; b++ {
+				backwardOne(colBuf, dColBuf, dwAcc, dbAcc, b)
+			}
+			putF64(colBuf)
+			putF64(dColBuf)
+		})
+		for si := 0; si < nAux; si++ {
+			part := auxDW[si*wLen : (si+1)*wLen]
+			dw := grads.DW.data
+			for i, v := range part {
+				dw[i] += v
+			}
+			if hasBias {
+				pb := auxDB[si*p.OutChannels : (si+1)*p.OutChannels]
+				db := grads.DB.data
+				for i, v := range pb {
+					db[i] += v
+				}
+			}
+		}
+		putF64(auxDW)
+		if hasBias {
+			putF64(auxDB)
+		}
+		return grads, nil
+	}
+
+	colBuf := getF64(patch * cols)
+	dColBuf := getF64(patch * cols)
+	var dbAcc []float64
+	if hasBias {
+		dbAcc = grads.DB.data
+	}
+	for b := 0; b < n; b++ {
+		backwardOne(colBuf, dColBuf, grads.DW.data, dbAcc, b)
+	}
+	putF64(colBuf)
+	putF64(dColBuf)
 	return grads, nil
 }

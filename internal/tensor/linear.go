@@ -35,6 +35,34 @@ func Linear(x, weight, bias *Tensor) (*Tensor, error) {
 	return y, nil
 }
 
+// LinearInto computes y = x·Wᵀ + b into dst (shape N×Out) — the
+// destination-reuse variant of Linear.
+func LinearInto(dst, x, weight, bias *Tensor) error {
+	if x.Rank() != 2 || weight.Rank() != 2 {
+		return fmt.Errorf("%w: linear needs rank-2 x and weight, got %v and %v", ErrShape, x.shape, weight.shape)
+	}
+	n, in := x.shape[0], x.shape[1]
+	out, in2 := weight.shape[0], weight.shape[1]
+	if in != in2 {
+		return fmt.Errorf("%w: linear input dim %d vs weight dim %d", ErrShape, in, in2)
+	}
+	if bias != nil && (bias.Rank() != 1 || bias.shape[0] != out) {
+		return fmt.Errorf("%w: linear bias shape %v, want [%d]", ErrShape, bias.shape, out)
+	}
+	if err := MatMulTransBInto(dst, x, weight); err != nil {
+		return err
+	}
+	if bias != nil {
+		for i := 0; i < n; i++ {
+			row := dst.data[i*out : (i+1)*out]
+			for j := range row {
+				row[j] += bias.data[j]
+			}
+		}
+	}
+	return nil
+}
+
 // LinearGrads holds the gradients of a Linear call.
 type LinearGrads struct {
 	DX *Tensor

@@ -111,6 +111,41 @@ func BatchNorm2D(x *Tensor, s *BatchNormState, training bool) (*BatchNormResult,
 	return res, nil
 }
 
+// BatchNorm2DInto normalizes an NCHW batch per channel using the stored
+// running statistics, writing the result into dst (same shape as x). It
+// is the inference fast path of BatchNorm2D: no result struct, no xhat
+// cache, no running-stat update, so it allocates nothing and is safe for
+// concurrent use over a shared state. Values match BatchNorm2D's
+// evaluation mode bit for bit.
+func BatchNorm2DInto(dst, x *Tensor, s *BatchNormState) error {
+	if x.Rank() != 4 {
+		return fmt.Errorf("%w: batchnorm input must be rank-4, got %v", ErrShape, x.shape)
+	}
+	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	if c != s.Channels() {
+		return fmt.Errorf("%w: batchnorm input has %d channels, state has %d", ErrShape, c, s.Channels())
+	}
+	if !dst.SameShape(x) {
+		return fmt.Errorf("%w: batchnorm dst %v, want %v", ErrShape, dst.shape, x.shape)
+	}
+	hw := h * w
+	for ch := 0; ch < c; ch++ {
+		mean := s.RunningMean.data[ch]
+		inv := 1.0 / math.Sqrt(s.RunningVar.data[ch]+s.Eps)
+		g, bshift := s.Gamma.data[ch], s.Beta.data[ch]
+		for b := 0; b < n; b++ {
+			off := (b*c + ch) * hw
+			plane := x.data[off : off+hw]
+			o := dst.data[off : off+hw]
+			for i, v := range plane {
+				xn := (v - mean) * inv
+				o[i] = g*xn + bshift
+			}
+		}
+	}
+	return nil
+}
+
 // BatchNormGrads carries the gradients of a training-mode batch norm.
 type BatchNormGrads struct {
 	DX     *Tensor

@@ -1,0 +1,155 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The tensor engine shards large kernels (GEMM row panels, convolution
+// batches) across a package-level pool of persistent worker goroutines.
+// The pool is bounded: at most Parallelism()-1 workers participate in any
+// one kernel (the caller's goroutine always runs the first shard), and
+// worker goroutines are started lazily and reused across calls, so the
+// steady-state hot path submits closures to an already-running pool
+// instead of spawning goroutines.
+//
+// Kernels submitted to the pool must be leaves: they must not call
+// parallelFor themselves, or a worker could block waiting on shards that
+// are queued behind it. Compound operations (convolution over a batch)
+// therefore choose ONE axis to parallelize and run everything below it
+// on the serial kernels.
+
+// maxPoolWorkers caps the persistent worker count regardless of
+// SetParallelism, bounding goroutine growth on large GOMAXPROCS hosts.
+const maxPoolWorkers = 64
+
+var (
+	parallelism atomic.Int32
+
+	poolMu    sync.Mutex
+	poolTasks chan func()
+	poolLive  int
+)
+
+func init() {
+	parallelism.Store(int32(defaultParallelism()))
+}
+
+func defaultParallelism() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > maxPoolWorkers {
+		n = maxPoolWorkers
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// SetParallelism sets the number of goroutines (including the caller)
+// that large kernels may use, and returns the previous value. n <= 0
+// resets to runtime.GOMAXPROCS(0). Parallelism 1 forces every kernel
+// onto the caller's goroutine with the exact seed summation order, which
+// is what the profiler uses for reproducible single-worker c(s)
+// measurements and what tests use for determinism.
+func SetParallelism(n int) int {
+	if n <= 0 {
+		n = defaultParallelism()
+	}
+	if n > maxPoolWorkers {
+		n = maxPoolWorkers
+	}
+	return int(parallelism.Swap(int32(n)))
+}
+
+// Parallelism returns the current kernel parallelism.
+func Parallelism() int { return int(parallelism.Load()) }
+
+// ensureWorkers starts persistent pool workers until at least n exist.
+func ensureWorkers(n int) {
+	if n > maxPoolWorkers {
+		n = maxPoolWorkers
+	}
+	poolMu.Lock()
+	if poolTasks == nil {
+		poolTasks = make(chan func(), 4*maxPoolWorkers)
+	}
+	for poolLive < n {
+		poolLive++
+		go func() {
+			for f := range poolTasks {
+				f()
+			}
+		}()
+	}
+	poolMu.Unlock()
+}
+
+// shardSpan describes one contiguous index range of a parallelFor.
+type shardSpan struct{ lo, hi int }
+
+// shardPlan splits [0,n) into at most Parallelism() contiguous spans of
+// at least grain elements each. The span boundaries depend only on n,
+// grain and the configured parallelism, so a given configuration always
+// produces the same work decomposition (and therefore the same
+// floating-point reduction groupings).
+func shardPlan(n, grain int) []shardSpan {
+	if n <= 0 {
+		return nil
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	p := Parallelism()
+	if max := (n + grain - 1) / grain; p > max {
+		p = max
+	}
+	if p < 1 {
+		p = 1
+	}
+	spans := make([]shardSpan, 0, p)
+	chunk := (n + p - 1) / p
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		spans = append(spans, shardSpan{lo, hi})
+	}
+	return spans
+}
+
+// runShards executes a precomputed shard plan: shard 0 on the caller's
+// goroutine, the rest on the worker pool. fn receives the shard index
+// and its bounds, and must not call parallelFor/runShards itself.
+func runShards(spans []shardSpan, fn func(si, lo, hi int)) {
+	switch len(spans) {
+	case 0:
+		return
+	case 1:
+		fn(0, spans[0].lo, spans[0].hi)
+		return
+	}
+	ensureWorkers(len(spans) - 1)
+	var wg sync.WaitGroup
+	wg.Add(len(spans) - 1)
+	for si, s := range spans[1:] {
+		si, s := si+1, s
+		poolTasks <- func() {
+			defer wg.Done()
+			fn(si, s.lo, s.hi)
+		}
+	}
+	fn(0, spans[0].lo, spans[0].hi)
+	wg.Wait()
+}
+
+// parallelFor runs fn over [0,n) split into contiguous shards of at
+// least grain elements. The caller's goroutine runs the first shard;
+// the rest go to the worker pool. fn must not call parallelFor (see the
+// package comment on leaf kernels). With parallelism 1 (or a single
+// shard) fn runs inline exactly once over the full range.
+func parallelFor(n, grain int, fn func(lo, hi int)) {
+	runShards(shardPlan(n, grain), func(_, lo, hi int) { fn(lo, hi) })
+}

@@ -94,6 +94,85 @@ func MaxPool2D(x *Tensor, p PoolParams) (*MaxPool2DResult, error) {
 	return &MaxPool2DResult{Out: out, argmax: argmax, inShape: x.Shape()}, nil
 }
 
+// MaxPool2DInto applies max pooling into dst (shape N×C×OH×OW) without
+// recording argmax indices — the inference fast path of MaxPool2D.
+// Output values match MaxPool2D bit for bit.
+func MaxPool2DInto(dst, x *Tensor, p PoolParams) error {
+	if err := p.validate(); err != nil {
+		return err
+	}
+	if x.Rank() != 4 {
+		return fmt.Errorf("%w: maxpool input must be rank-4, got %v", ErrShape, x.shape)
+	}
+	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	oh, ow := p.OutSize(h, w)
+	if oh <= 0 || ow <= 0 {
+		return fmt.Errorf("%w: maxpool output %dx%d for input %dx%d", ErrShape, oh, ow, h, w)
+	}
+	if dst.Rank() != 4 || dst.shape[0] != n || dst.shape[1] != c || dst.shape[2] != oh || dst.shape[3] != ow {
+		return fmt.Errorf("%w: maxpool dst %v, want [%d %d %d %d]", ErrShape, dst.shape, n, c, oh, ow)
+	}
+	oi := 0
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < c; ch++ {
+			plane := x.data[(b*c+ch)*h*w : (b*c+ch+1)*h*w]
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					best := 0.0
+					found := false
+					for ky := 0; ky < p.Kernel; ky++ {
+						iy := oy*p.Stride + ky - p.Padding
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < p.Kernel; kx++ {
+							ix := ox*p.Stride + kx - p.Padding
+							if ix < 0 || ix >= w {
+								continue
+							}
+							v := plane[iy*w+ix]
+							if !found || v > best {
+								best = v
+								found = true
+							}
+						}
+					}
+					if !found {
+						best = 0 // window fully in padding
+					}
+					dst.data[oi] = best
+					oi++
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// GlobalAvgPool2DInto averages each channel plane into dst (shape N×C) —
+// the destination-reuse variant of GlobalAvgPool2D.
+func GlobalAvgPool2DInto(dst, x *Tensor) error {
+	if x.Rank() != 4 {
+		return fmt.Errorf("%w: global avgpool input must be rank-4, got %v", ErrShape, x.shape)
+	}
+	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	if dst.Rank() != 2 || dst.shape[0] != n || dst.shape[1] != c {
+		return fmt.Errorf("%w: global avgpool dst %v, want [%d %d]", ErrShape, dst.shape, n, c)
+	}
+	area := float64(h * w)
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < c; ch++ {
+			plane := x.data[(b*c+ch)*h*w : (b*c+ch+1)*h*w]
+			s := 0.0
+			for _, v := range plane {
+				s += v
+			}
+			dst.data[b*c+ch] = s / area
+		}
+	}
+	return nil
+}
+
 // Backward routes the upstream gradient dy to the argmax positions.
 func (r *MaxPool2DResult) Backward(dy *Tensor) (*Tensor, error) {
 	if !dy.SameShape(r.Out) {

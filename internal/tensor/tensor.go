@@ -27,6 +27,10 @@ var ErrShape = errors.New("tensor: shape mismatch")
 type Tensor struct {
 	shape []int
 	data  []float64
+	// pooled marks storage obtained from the scratch pool via Rent;
+	// only such tensors are recycled by Release. Views (Reshape) and
+	// clones never inherit it.
+	pooled bool
 }
 
 // New returns a zero-filled tensor of the given shape.

@@ -114,11 +114,12 @@ func EvaluateModel(m *dnn.Model, sp *dataset.Split) (float64, error) {
 		if err != nil {
 			return 0, err
 		}
-		logits, err := m.Forward(x, false)
+		logits, err := m.ForwardBatch(x)
 		if err != nil {
 			return 0, err
 		}
 		pred, err := tensor.Argmax(logits)
+		tensor.Release(logits)
 		if err != nil {
 			return 0, err
 		}
@@ -147,11 +148,12 @@ func EvaluateClass(m *dnn.Model, sp *dataset.Split, classID int) (float64, error
 	if err != nil {
 		return 0, err
 	}
-	logits, err := m.Forward(x, false)
+	logits, err := m.ForwardBatch(x)
 	if err != nil {
 		return 0, err
 	}
 	pred, err := tensor.Argmax(logits)
+	tensor.Release(logits)
 	if err != nil {
 		return 0, err
 	}
