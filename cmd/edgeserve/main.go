@@ -19,6 +19,15 @@
 //
 //	edgeserve                          # Table-IV small-scenario resources on :8080
 //	edgeserve -addr :9000 -catalog large -rbs 100 -compute 10 -memory 16
+//
+// Chaos runs arm fault-injection points (repeatable -fault flag):
+//
+//	edgeserve -fault solver.error:p=0.3                      # random solve failures
+//	edgeserve -fault solver.panic:every=5 -fault deploy.error:p=0.1
+//	edgeserve -fault solver.hang:every=3 -solve-timeout 2s   # hung solves, bounded
+//
+// Under injected faults the daemon keeps serving off its last-good
+// epoch and /healthz reports degraded until solves recover.
 package main
 
 import (
@@ -34,6 +43,7 @@ import (
 	"time"
 
 	"offloadnn/internal/core"
+	"offloadnn/internal/faultinject"
 	"offloadnn/internal/radio"
 	"offloadnn/internal/serve"
 	"offloadnn/internal/workload"
@@ -53,7 +63,33 @@ func run() int {
 	debounce := flag.Duration("debounce", 100*time.Millisecond, "churn batching window before a re-solve")
 	window := flag.Int("window", 4096, "latency quantile window (samples)")
 	catalog := flag.String("catalog", "small", "DNN catalog for submitted tasks: small|large")
+	solveTimeout := flag.Duration("solve-timeout", 0, "deadline for one epoch's solve (0 = unbounded)")
+	staleAfter := flag.Duration("stale-after", 10*time.Second, "plan staleness before /healthz reports degraded")
+	backoff := flag.Duration("backoff", 0, "initial retry delay after a failed re-solve (0 = debounce)")
+	backoffMax := flag.Duration("backoff-max", 5*time.Second, "retry delay cap under consecutive failures")
+	breaker := flag.Int("breaker", 3, "consecutive failures before falling back to full (non-incremental) solves")
+	drainGrace := flag.Duration("drain-grace", 1*time.Second, "window after SIGTERM where the listener stays open in draining mode")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for probabilistic fault triggers")
+	var faultSpecs []string
+	flag.Func("fault", "arm a fault-injection point, e.g. solver.error:p=0.3 (repeatable)", func(v string) error {
+		faultSpecs = append(faultSpecs, v)
+		return nil
+	})
 	flag.Parse()
+
+	var faults *faultinject.Injector
+	if len(faultSpecs) > 0 {
+		faults = faultinject.New(*faultSeed)
+		for _, spec := range faultSpecs {
+			point, rule, err := faultinject.ParseSpec(spec)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "edgeserve:", err)
+				return 2
+			}
+			faults.Set(point, rule)
+			log.Printf("edgeserve: armed fault point %s (%+v)", point, rule)
+		}
+	}
 
 	var params workload.CatalogParams
 	switch *catalog {
@@ -74,11 +110,17 @@ func run() int {
 			TrainBudgetSeconds: *trainBudget,
 			Capacity:           radio.PaperRate(),
 		},
-		Alpha:    *alpha,
-		Catalog:  params,
-		Debounce: *debounce,
-		Window:   *window,
-		Logf:     log.Printf,
+		Alpha:             *alpha,
+		Catalog:           params,
+		Debounce:          *debounce,
+		Window:            *window,
+		SolveTimeout:      *solveTimeout,
+		StaleAfter:        *staleAfter,
+		FailureBackoff:    *backoff,
+		FailureBackoffMax: *backoffMax,
+		BreakerThreshold:  *breaker,
+		Faults:            faults,
+		Logf:              log.Printf,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "edgeserve:", err)
@@ -105,7 +147,20 @@ func run() int {
 			return 1
 		}
 	case s := <-sig:
-		log.Printf("edgeserve: %v, shutting down", s)
+		// Drain first and hold the listener open for the grace window:
+		// registrations 503 while new offloads keep serving off the last
+		// epoch. Shutdown closes the listener, so without this window
+		// clients would see connection refused instead of "draining".
+		srv.Drain()
+		log.Printf("edgeserve: %v, draining then shutting down", s)
+		select {
+		case <-time.After(*drainGrace):
+		case err := <-errCh:
+			if err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "edgeserve:", err)
+				return 1
+			}
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil {

@@ -7,12 +7,14 @@
 package edge
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 	"sync"
 
 	"offloadnn/internal/core"
+	"offloadnn/internal/faultinject"
 	"offloadnn/internal/radio"
 )
 
@@ -51,6 +53,10 @@ type Controller struct {
 	// the optimum in small-scale validation. Set before sharing the
 	// controller across goroutines.
 	Solve func(*core.Instance) (*core.Solution, error)
+	// Faults optionally arms the controller's failure points
+	// (faultinject.PointDeployError). Nil (the default) disarms them.
+	// Like Solve, set before sharing the controller across goroutines.
+	Faults *faultinject.Injector
 }
 
 // NewController constructs a controller over the given resource pools.
@@ -67,14 +73,63 @@ func NewController(res core.Resources) *Controller {
 // the admitted rates for notification to the UEs. Rounds serialize: a
 // concurrent Admit blocks until the in-flight round finishes.
 func (c *Controller) Admit(tasks []core.Task, blocks map[string]core.BlockSpec, alpha float64) (*Deployment, error) {
+	return c.AdmitCtx(context.Background(), tasks, blocks, alpha)
+}
+
+// AdmitCtx is Admit with a context bounding the solve step. When ctx is
+// cancelable (carries a deadline or cancel), the solve runs in a
+// goroutine and AdmitCtx returns ctx.Err() as soon as the context is
+// done; the abandoned solve runs to completion with its result dropped
+// — the bounded-goroutine price of imposing deadlines on solver
+// strategies that are not context-aware. A panic inside the strategy is
+// recovered into an error either way, so a broken Solve can never kill
+// the caller's goroutine.
+func (c *Controller) AdmitCtx(ctx context.Context, tasks []core.Task, blocks map[string]core.BlockSpec, alpha float64) (*Deployment, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	in := &core.Instance{Tasks: tasks, Blocks: blocks, Res: c.res, Alpha: alpha}
-	sol, err := c.Solve(in)
+	sol, err := c.solveCtx(ctx, in)
 	if err != nil {
 		return nil, fmt.Errorf("%w: solver: %w", ErrDeploy, err)
 	}
 	return c.deployLocked(in, sol)
+}
+
+// errSolverPanic tags a recovered strategy panic.
+var errSolverPanic = errors.New("solver panic")
+
+// solveCtx runs the configured strategy under ctx; c.mu must be held.
+// The strategy only reads the instance (controller state is untouched
+// until deployLocked), so abandoning a timed-out solve is safe.
+func (c *Controller) solveCtx(ctx context.Context, in *core.Instance) (sol *core.Solution, err error) {
+	if ctx == nil || ctx.Done() == nil {
+		defer func() {
+			if p := recover(); p != nil {
+				sol, err = nil, fmt.Errorf("%w: %v", errSolverPanic, p)
+			}
+		}()
+		return c.Solve(in)
+	}
+	type result struct {
+		sol *core.Solution
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				ch <- result{nil, fmt.Errorf("%w: %v", errSolverPanic, p)}
+			}
+		}()
+		sol, err := c.Solve(in)
+		ch <- result{sol, err}
+	}()
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case r := <-ch:
+		return r.sol, r.err
+	}
 }
 
 // Deploy runs steps 3–6 of the workflow for a solution produced outside
@@ -89,6 +144,9 @@ func (c *Controller) Deploy(in *core.Instance, sol *core.Solution) (*Deployment,
 
 // deployLocked checks, slices, and packages a solution; c.mu must be held.
 func (c *Controller) deployLocked(in *core.Instance, sol *core.Solution) (*Deployment, error) {
+	if err := c.Faults.Hit(context.Background(), faultinject.PointDeployError); err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrDeploy, err)
+	}
 	if err := in.Check(sol.Assignments); err != nil {
 		return nil, fmt.Errorf("%w: solution check: %w", ErrDeploy, err)
 	}

@@ -97,6 +97,8 @@ const (
 	CodeNotAdmitted = "not_admitted"
 	// CodeOverRate: traffic beyond the task's admitted rate z·λ (429).
 	CodeOverRate = "over_rate"
+	// CodeDraining: registration refused while the server drains (503).
+	CodeDraining = "draining"
 )
 
 // errorBody is the unified JSON error envelope.
@@ -111,6 +113,14 @@ type errorDetail struct {
 
 func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
 	writeJSON(w, status, errorBody{Error: errorDetail{Code: code, Message: fmt.Sprintf(format, args...)}})
+}
+
+// boolGauge renders a bool as a 0/1 metric value.
+func boolGauge(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // retryAfter formats a Retry-After header value: whole seconds, at
@@ -132,6 +142,10 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.Register(spec.Task(), nil); err != nil {
+		if errors.Is(err, ErrDraining) {
+			writeError(w, http.StatusServiceUnavailable, CodeDraining, "%v", err)
+			return
+		}
 		if errors.Is(err, ErrExists) {
 			writeError(w, http.StatusConflict, CodeTaskExists, "%v", err)
 			return
@@ -193,6 +207,14 @@ func (s *Server) handleOffload(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, CodeUnknownTask, "task %q not registered", req.Task)
 		return
 	}
+	if r.Context().Err() != nil {
+		// The client is gone: don't burn the task's gate tokens on a
+		// response no one will read. 499 is nginx's "client closed
+		// request" convention; the status is for the access log only.
+		s.stats.aborted.Add(1)
+		w.WriteHeader(499)
+		return
+	}
 	ep := s.resolver.Current()
 	gate := ep.Gate(req.Task)
 	if gate == nil {
@@ -231,20 +253,30 @@ func (s *Server) handleOffload(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	ep := s.resolver.Current()
-	var epoch, epochGen uint64
-	if ep != nil {
-		epoch, epochGen = ep.N, ep.Generation
+	h := s.Health()
+	status := http.StatusOK
+	if h.State == Draining {
+		// Load balancers read 503 as "stop routing here"; degraded
+		// stays 200 because the daemon still serves off its last plan.
+		status = http.StatusServiceUnavailable
 	}
-	gen := s.reg.Generation()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":         "ok",
-		"epoch":          epoch,
-		"generation":     gen,
-		"current":        ep != nil && epochGen == gen,
-		"tasks":          s.reg.Len(),
-		"uptime_seconds": s.cfg.Now().Sub(s.stats.start).Seconds(),
-	})
+	body := map[string]any{
+		"status":               h.State.String(),
+		"epoch":                h.Epoch,
+		"generation":           h.Generation,
+		"current":              h.Current,
+		"generation_lag":       h.GenerationLag,
+		"epoch_age_seconds":    h.EpochAge.Seconds(),
+		"stale_for_seconds":    h.StaleFor.Seconds(),
+		"consecutive_failures": h.ConsecutiveFailures,
+		"breaker_open":         h.BreakerOpen,
+		"tasks":                s.reg.Len(),
+		"uptime_seconds":       s.cfg.Now().Sub(s.stats.start).Seconds(),
+	}
+	if h.LastError != "" {
+		body["last_solve_error"] = h.LastError
+	}
+	writeJSON(w, status, body)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -269,10 +301,25 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "offloadnn_solves_total %d\n", s.stats.Solves())
 	family("offloadnn_solve_errors_total", "counter", "DOT solver invocations that failed.")
 	fmt.Fprintf(w, "offloadnn_solve_errors_total %d\n", s.stats.SolveErrors())
+	family("offloadnn_solve_panics_total", "counter", "Solver panics recovered into solve errors.")
+	fmt.Fprintf(w, "offloadnn_solve_panics_total %d\n", s.stats.SolvePanics())
 	family("offloadnn_solve_duration_seconds", "gauge", "Duration of the most recent solve.")
 	fmt.Fprintf(w, "offloadnn_solve_duration_seconds %g\n", s.stats.LastSolveLatency().Seconds())
+	h := s.Health()
+	family("offloadnn_health_state", "gauge", "Serving condition: 0 healthy, 1 degraded, 2 draining.")
+	fmt.Fprintf(w, "offloadnn_health_state %d\n", int(h.State))
+	family("offloadnn_consecutive_solve_failures", "gauge", "Current run of failed re-solves.")
+	fmt.Fprintf(w, "offloadnn_consecutive_solve_failures %d\n", h.ConsecutiveFailures)
+	family("offloadnn_epoch_age_seconds", "gauge", "Age of the published plan (uptime before the first solve).")
+	fmt.Fprintf(w, "offloadnn_epoch_age_seconds %g\n", h.EpochAge.Seconds())
+	family("offloadnn_epoch_stale_seconds", "gauge", "How long the plan has trailed the registry; 0 while current.")
+	fmt.Fprintf(w, "offloadnn_epoch_stale_seconds %g\n", h.StaleFor.Seconds())
+	family("offloadnn_breaker_open", "gauge", "Incremental-to-full circuit breaker: 1 open, 0 closed.")
+	fmt.Fprintf(w, "offloadnn_breaker_open %d\n", boolGauge(h.BreakerOpen))
 	family("offloadnn_offload_requests_total", "counter", "Offload requests received.")
 	fmt.Fprintf(w, "offloadnn_offload_requests_total %d\n", s.stats.Requests())
+	family("offloadnn_offload_aborted_total", "counter", "Offload requests whose client disconnected before gate work.")
+	fmt.Fprintf(w, "offloadnn_offload_aborted_total %d\n", s.stats.Aborted())
 	family("offloadnn_offload_admitted_total", "counter", "Offload requests admitted, per task.")
 	for _, id := range s.stats.taskIDs() {
 		fmt.Fprintf(w, "offloadnn_offload_admitted_total{task=%q} %d\n", id, s.stats.Admitted(id))

@@ -1,0 +1,107 @@
+package serve
+
+import "time"
+
+// HealthState is the daemon's coarse serving condition, the state
+// machine /healthz and /metrics report.
+//
+//	healthy  ──ConsecutiveFailures ≥ DegradedAfter, or the plan trails
+//	│   ▲      the registry longer than StaleAfter──▶  degraded
+//	│   └──────────successful, current re-solve────────────┘
+//	└──Drain/Close──▶  draining   (terminal: no un-drain)
+type HealthState int
+
+const (
+	// Healthy: the published plan tracks the registry and solves
+	// succeed.
+	Healthy HealthState = iota
+	// Degraded: the daemon is live and serving off its last-good epoch,
+	// but re-solves keep failing or the plan is stale. Offloads still
+	// work; operators should look at LastError.
+	Degraded
+	// Draining: Drain/Close was called. New registrations get 503;
+	// offloads keep serving through the drain window.
+	Draining
+)
+
+func (h HealthState) String() string {
+	switch h {
+	case Degraded:
+		return "degraded"
+	case Draining:
+		return "draining"
+	}
+	return "healthy"
+}
+
+// Health is one computed snapshot of the daemon's serving condition.
+type Health struct {
+	// State is the aggregate verdict.
+	State HealthState
+	// Epoch and Generation identify the published plan (zero before the
+	// first solve) and the registry state it was solved from.
+	Epoch      uint64
+	Generation uint64
+	// Current reports whether the plan covers the latest registry
+	// generation.
+	Current bool
+	// GenerationLag is how many registry mutations the plan is behind.
+	GenerationLag uint64
+	// EpochAge is how long ago the plan was published; for a daemon
+	// that has never published, how long it has been up.
+	EpochAge time.Duration
+	// StaleFor is how long the plan has trailed the registry, zero
+	// while current.
+	StaleFor time.Duration
+	// ConsecutiveFailures is the current run of failed re-solves.
+	ConsecutiveFailures uint64
+	// BreakerOpen reports the incremental→full circuit breaker.
+	BreakerOpen bool
+	// LastError is the most recent solve failure, empty after a
+	// success.
+	LastError string
+}
+
+// Health computes the current health snapshot. Degradation is driven by
+// the two signals that matter to a plan consumer: the resolver keeps
+// failing (ConsecutiveFailures ≥ DegradedAfter), or the published plan
+// has trailed the registry for longer than StaleAfter — generation lag
+// alone is normal churn inside the debounce window, so only sustained
+// lag degrades.
+func (s *Server) Health() Health {
+	now := s.cfg.Now()
+	ep := s.resolver.Current()
+	gen := s.reg.Generation()
+	h := Health{
+		Generation:          gen,
+		ConsecutiveFailures: s.resolver.ConsecutiveFailures(),
+		BreakerOpen:         s.resolver.BreakerOpen(),
+		LastError:           s.stats.LastSolveError(),
+	}
+	var epGen uint64
+	published := s.stats.start
+	if ep != nil {
+		h.Epoch = ep.N
+		epGen = ep.Generation
+		published = ep.PublishedAt
+	}
+	h.Current = ep != nil && epGen == gen
+	if gen > epGen {
+		h.GenerationLag = gen - epGen
+	}
+	h.EpochAge = now.Sub(published)
+	if since, ok := s.resolver.StaleSince(); ok {
+		h.StaleFor = now.Sub(since)
+	}
+	switch {
+	case s.draining.Load():
+		h.State = Draining
+	case h.ConsecutiveFailures >= uint64(s.cfg.DegradedAfter):
+		h.State = Degraded
+	case h.StaleFor > s.cfg.StaleAfter:
+		h.State = Degraded
+	default:
+		h.State = Healthy
+	}
+	return h
+}

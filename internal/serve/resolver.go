@@ -2,12 +2,16 @@ package serve
 
 import (
 	"context"
+	"fmt"
+	"math/rand"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"offloadnn/internal/core"
 	"offloadnn/internal/edge"
+	"offloadnn/internal/faultinject"
 )
 
 // Epoch is one installed pass of the Fig. 4 loop: the deployment the
@@ -29,6 +33,9 @@ type Epoch struct {
 	Deployment *edge.Deployment
 	// SolveLatency is how long the solve-and-deploy step took.
 	SolveLatency time.Duration
+	// PublishedAt is when the epoch was installed, on the resolver's
+	// clock; the health state machine ages the plan against it.
+	PublishedAt time.Time
 
 	gates   map[string]*Gate
 	latency map[string]time.Duration
@@ -74,6 +81,14 @@ func (e *Epoch) PredictedLatency(id string) (time.Duration, bool) {
 // epoch. A custom Config.Solve opts out (the session exists to accelerate
 // the default heuristic, not arbitrary strategies) and every epoch is a
 // full controller admission round.
+//
+// The resolver is built to survive its solver. A panic inside the solve
+// step is recovered into a counted solve error; a hung solve is bounded
+// by Config.SolveTimeout; consecutive failures back off exponentially
+// (capped, jittered) instead of retrying hot; and a circuit breaker
+// drops the incremental session after breakerN consecutive failures,
+// falling back to full admission rounds until a solve succeeds. In every
+// failure mode the last-good epoch keeps serving.
 type Resolver struct {
 	reg      *Registry
 	ctrl     *edge.Controller
@@ -83,6 +98,15 @@ type Resolver struct {
 	now      func() time.Time
 	logf     func(string, ...any)
 	stats    *Stats
+	faults   *faultinject.Injector
+
+	solveTimeout time.Duration
+	backoffBase  time.Duration
+	backoffMax   time.Duration
+	breakerN     int
+	// jitter draws the backoff jitter factor source in [0,1);
+	// injectable for deterministic schedule tests.
+	jitter func() float64
 
 	cur  atomic.Pointer[Epoch]
 	kick chan struct{}
@@ -94,6 +118,17 @@ type Resolver struct {
 	// instead of delaying shutdown.
 	ctx    context.Context
 	cancel context.CancelFunc
+
+	// fails counts consecutive solve failures; zeroed on success. Read
+	// by the health state machine and /metrics without solveMu.
+	fails atomic.Uint64
+	// breakerOpen reports the incremental→full circuit breaker state.
+	// Only the resolve path writes it (under solveMu); handlers read it.
+	breakerOpen atomic.Bool
+	// staleSince is when the published plan first fell behind the
+	// registry (unix nanos on the injected clock); zero while current.
+	// Kick sets it, a publish clears it.
+	staleSince atomic.Int64
 
 	// solveMu serializes epoch production (numbering + publication);
 	// readers never take it.
@@ -107,24 +142,40 @@ type Resolver struct {
 	session     *core.SolverSession
 }
 
+// resolverParams carries the fault-tolerance knobs from Config into
+// newResolver without a ten-argument signature.
+type resolverParams struct {
+	solveTimeout time.Duration
+	backoffBase  time.Duration
+	backoffMax   time.Duration
+	breakerN     int
+	faults       *faultinject.Injector
+}
+
 func newResolver(reg *Registry, ctrl *edge.Controller, res core.Resources, alpha float64,
 	debounce time.Duration, now func() time.Time, logf func(string, ...any), stats *Stats,
-	incremental bool) *Resolver {
+	incremental bool, p resolverParams) *Resolver {
 	ctx, cancel := context.WithCancel(context.Background())
 	r := &Resolver{
-		reg:         reg,
-		ctrl:        ctrl,
-		res:         res,
-		alpha:       alpha,
-		debounce:    debounce,
-		now:         now,
-		logf:        logf,
-		stats:       stats,
-		kick:        make(chan struct{}, 1),
-		done:        make(chan struct{}),
-		ctx:         ctx,
-		cancel:      cancel,
-		incremental: incremental,
+		reg:          reg,
+		ctrl:         ctrl,
+		res:          res,
+		alpha:        alpha,
+		debounce:     debounce,
+		now:          now,
+		logf:         logf,
+		stats:        stats,
+		faults:       p.faults,
+		solveTimeout: p.solveTimeout,
+		backoffBase:  p.backoffBase,
+		backoffMax:   p.backoffMax,
+		breakerN:     p.breakerN,
+		jitter:       rand.Float64,
+		kick:         make(chan struct{}, 1),
+		done:         make(chan struct{}),
+		ctx:          ctx,
+		cancel:       cancel,
+		incremental:  incremental,
 	}
 	r.wg.Add(1)
 	go r.loop()
@@ -134,9 +185,28 @@ func newResolver(reg *Registry, ctrl *edge.Controller, res core.Resources, alpha
 // Current returns the published epoch, nil before the first solve.
 func (r *Resolver) Current() *Epoch { return r.cur.Load() }
 
+// ConsecutiveFailures returns the current run of failed solves.
+func (r *Resolver) ConsecutiveFailures() uint64 { return r.fails.Load() }
+
+// BreakerOpen reports whether the incremental→full circuit breaker is
+// open (epochs run as full admission rounds until a solve succeeds).
+func (r *Resolver) BreakerOpen() bool { return r.breakerOpen.Load() }
+
+// StaleSince returns when the published plan first fell behind the
+// registry, and false while the plan is current.
+func (r *Resolver) StaleSince() (time.Time, bool) {
+	ns := r.staleSince.Load()
+	if ns == 0 {
+		return time.Time{}, false
+	}
+	return time.Unix(0, ns), true
+}
+
 // Kick signals that the registry changed. Coalesces: kicks arriving
-// while one is pending fold into it.
+// while one is pending fold into it. The first kick after a publish
+// starts the staleness clock the health state machine reads.
 func (r *Resolver) Kick() {
+	r.staleSince.CompareAndSwap(0, r.now().UnixNano())
 	select {
 	case r.kick <- struct{}{}:
 	default:
@@ -156,7 +226,10 @@ func (r *Resolver) Close() {
 // loop debounces churn into epochs: the first kick opens a batching
 // window of `debounce`; everything that arrives within it lands in the
 // same re-solve, and churn during the solve leaves a pending kick that
-// triggers the next round.
+// triggers the next round. A failed re-solve retries with capped
+// exponential backoff instead of waiting for (or being re-triggered hot
+// by) further churn, so a persistently failing solver costs a bounded
+// solve rate and the loop still converges the moment it recovers.
 func (r *Resolver) loop() {
 	defer r.wg.Done()
 	for {
@@ -165,24 +238,75 @@ func (r *Resolver) loop() {
 			return
 		case <-r.kick:
 		}
-		t := time.NewTimer(r.debounce)
-		select {
-		case <-r.done:
-			t.Stop()
+		if !r.sleep(r.debounce) {
 			return
-		case <-t.C:
 		}
-		if err := r.ResolveNow(); err != nil && r.logf != nil {
-			r.logf("serve: epoch re-solve: %v", err)
+		for {
+			err := r.ResolveNow()
+			if err == nil {
+				break
+			}
+			if r.logf != nil {
+				r.logf("serve: epoch re-solve: %v", err)
+			}
+			if !r.sleep(r.backoffDelay()) {
+				return
+			}
+			// Drain any kick that arrived while backing off: the retry
+			// snapshots the latest generation anyway, and consuming it
+			// here keeps churn from bypassing the backoff via the outer
+			// select.
+			select {
+			case <-r.kick:
+			default:
+			}
 		}
 	}
 }
 
+// sleep waits d, returning false when the resolver closed first.
+func (r *Resolver) sleep(d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-r.done:
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// backoffDelay returns the wait before the next retry given the current
+// consecutive-failure count.
+func (r *Resolver) backoffDelay() time.Duration {
+	return backoffDelay(r.backoffBase, r.backoffMax, int(r.fails.Load()), r.jitter)
+}
+
+// backoffDelay computes base·2^(n−1) capped at max, scaled by a jitter
+// factor in [0.8, 1.2) drawn from jitter() ∈ [0,1). n is the
+// consecutive-failure count (n ≤ 1 yields base).
+func backoffDelay(base, max time.Duration, n int, jitter func() float64) time.Duration {
+	d := base
+	for i := 1; i < n && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	if jitter != nil {
+		d = time.Duration(float64(d) * (0.8 + 0.4*jitter()))
+	}
+	return d
+}
+
 // ResolveNow synchronously produces and publishes an epoch for the
 // current registry state. It is a no-op when the published epoch already
-// matches the registry generation. On solver error the previous epoch
-// stays in place (requests keep being served under the old plan) and the
-// error is returned.
+// matches the registry generation. On solver error (or recovered solver
+// panic) the previous epoch stays in place — requests keep being served
+// under the old plan — and the error is returned.
 func (r *Resolver) ResolveNow() error { return r.resolve(false) }
 
 // ForceResolve re-solves and republishes even when the published epoch
@@ -194,9 +318,10 @@ func (r *Resolver) resolve(force bool) error {
 	defer r.solveMu.Unlock()
 	tasks, blocks, gen := r.reg.Snapshot()
 	if cur := r.cur.Load(); !force && cur != nil && cur.Generation == gen {
+		r.staleSince.Store(0) // a pending kick raced an already-current epoch
 		return nil
 	}
-	start := time.Now()
+	start := r.now()
 	ep := &Epoch{
 		Generation: gen,
 		Tasks:      tasks,
@@ -206,23 +331,15 @@ func (r *Resolver) resolve(force bool) error {
 	if len(tasks) == 0 {
 		r.session = nil // an empty registry resets the incremental session
 	} else {
-		var dep *edge.Deployment
-		var err error
-		if r.incremental {
-			dep, err = r.resolveIncremental(tasks, blocks)
-			if err == nil {
-				// Assignments are parallel to the session's task order
-				// (which tracks registration order); publish that order.
-				tasks = r.session.Tasks()
-				ep.Tasks = tasks
-			}
-		} else {
-			dep, err = r.ctrl.Admit(tasks, blocks, r.alpha)
-		}
+		dep, solved, err := r.produce(tasks, blocks)
 		if err != nil {
-			r.stats.solveErrors.Add(1)
+			r.recordFailure(err)
 			return err
 		}
+		// solved is the task order the assignments are parallel to (the
+		// session's registration order on the incremental path).
+		tasks = solved
+		ep.Tasks = solved
 		ep.Deployment = dep
 		for i, a := range dep.Solution.Assignments {
 			if !a.Admitted() {
@@ -242,13 +359,91 @@ func (r *Resolver) resolve(force bool) error {
 			ep.latency[a.TaskID] = time.Duration((tx + proc) * float64(time.Second))
 		}
 	}
-	ep.SolveLatency = time.Since(start)
+	ep.SolveLatency = r.now().Sub(start)
+	ep.PublishedAt = r.now()
 	r.epochN++
 	ep.N = r.epochN
 	r.cur.Store(ep)
 	r.stats.solves.Add(1)
 	r.stats.lastSolveNanos.Store(int64(ep.SolveLatency))
+	r.recordSuccess()
 	return nil
+}
+
+// produce runs the solve-and-deploy step under panic isolation and the
+// configured deadline, returning the deployment and the task order its
+// assignments are parallel to. Caller holds solveMu.
+func (r *Resolver) produce(tasks []core.Task, blocks map[string]core.BlockSpec) (dep *edge.Deployment, solved []core.Task, err error) {
+	ctx := r.ctx
+	if r.solveTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, r.solveTimeout)
+		defer cancel()
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			// A mid-solve panic leaves the session in an unknown state;
+			// drop it so the next epoch rebuilds from scratch.
+			r.session = nil
+			r.stats.solvePanics.Add(1)
+			if r.logf != nil {
+				r.logf("serve: recovered solver panic: %v\n%s", p, debug.Stack())
+			}
+			dep, solved, err = nil, nil, fmt.Errorf("serve: recovered solver panic: %v", p)
+		}
+	}()
+	// Fault-injection points: no-ops unless a chaos test or the
+	// edgeserve -fault flag armed them.
+	for _, point := range []string{
+		faultinject.PointSolverError,
+		faultinject.PointSolverPanic,
+		faultinject.PointSolverHang,
+	} {
+		if err := r.faults.Hit(ctx, point); err != nil {
+			return nil, nil, err
+		}
+	}
+	if r.incremental && !r.breakerOpen.Load() {
+		dep, err := r.resolveIncremental(ctx, tasks, blocks)
+		if err != nil {
+			return nil, nil, err
+		}
+		// Assignments are parallel to the session's task order (which
+		// tracks registration order); publish that order.
+		return dep, r.session.Tasks(), nil
+	}
+	dep, err = r.ctrl.AdmitCtx(ctx, tasks, blocks, r.alpha)
+	if err != nil {
+		return nil, nil, err
+	}
+	return dep, tasks, nil
+}
+
+// recordFailure counts a failed solve and trips the incremental→full
+// circuit breaker once the run reaches breakerN. Caller holds solveMu.
+func (r *Resolver) recordFailure(err error) {
+	r.stats.solveErrors.Add(1)
+	r.stats.setLastSolveError(err)
+	n := r.fails.Add(1)
+	if r.incremental && !r.breakerOpen.Load() && r.breakerN > 0 && n >= uint64(r.breakerN) {
+		r.session = nil
+		r.breakerOpen.Store(true)
+		if r.logf != nil {
+			r.logf("serve: circuit breaker open after %d consecutive solve failures; falling back to full admission rounds", n)
+		}
+	}
+}
+
+// recordSuccess resets the failure run and re-arms the breaker; the
+// next epoch may use the incremental path again (rebuilding its session
+// from scratch). Caller holds solveMu.
+func (r *Resolver) recordSuccess() {
+	r.fails.Store(0)
+	r.staleSince.Store(0)
+	r.stats.setLastSolveError(nil)
+	if r.breakerOpen.CompareAndSwap(true, false) && r.logf != nil {
+		r.logf("serve: circuit breaker re-armed after successful solve")
+	}
 }
 
 // resolveIncremental produces a deployment through the solver session: it
@@ -257,7 +452,7 @@ func (r *Resolver) resolve(force bool) error {
 // controller for checking and slice allocation. On any error the session
 // is dropped so the next epoch rebuilds from scratch rather than serving
 // off state of unknown consistency. Caller holds solveMu.
-func (r *Resolver) resolveIncremental(tasks []core.Task, blocks map[string]core.BlockSpec) (*edge.Deployment, error) {
+func (r *Resolver) resolveIncremental(ctx context.Context, tasks []core.Task, blocks map[string]core.BlockSpec) (*edge.Deployment, error) {
 	var delta core.TaskDelta
 	if r.session == nil {
 		sess, err := core.NewSolverSession(&core.Instance{
@@ -273,7 +468,7 @@ func (r *Resolver) resolveIncremental(tasks []core.Task, blocks map[string]core.
 	} else {
 		delta = sessionDelta(r.session, tasks, blocks)
 	}
-	sol, err := r.session.Resolve(r.ctx, delta)
+	sol, err := r.session.Resolve(ctx, delta)
 	if err != nil {
 		r.session = nil
 		return nil, err

@@ -19,14 +19,22 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"offloadnn/internal/core"
 	"offloadnn/internal/edge"
+	"offloadnn/internal/faultinject"
 	"offloadnn/internal/workload"
 )
+
+// ErrDraining reports a registration attempted while the server is
+// draining (Drain/Close was called): new work is refused while existing
+// tasks keep serving off the last epoch through the drain window.
+var ErrDraining = errors.New("serve: server is draining")
 
 // Config parameterizes a serving daemon.
 type Config struct {
@@ -48,6 +56,34 @@ type Config struct {
 	// Now is the clock used by the admission gates and uptime
 	// (default time.Now); injectable for deterministic tests.
 	Now func() time.Time
+	// SolveTimeout bounds one epoch's solve-and-deploy step, enforced
+	// through a context composed with the resolver's shutdown context. A
+	// solve that overruns fails that epoch (the last-good plan keeps
+	// serving) and counts toward the failure backoff and breaker. Zero
+	// disables the deadline. With a custom non-context-aware Solve, a
+	// timed-out solve is abandoned in a goroutine that runs to
+	// completion with its result dropped.
+	SolveTimeout time.Duration
+	// FailureBackoff is the delay before retrying after one failed
+	// re-solve; consecutive failures double it up to FailureBackoffMax,
+	// with ±20% jitter. Defaults: the debounce window and 5 s.
+	FailureBackoff    time.Duration
+	FailureBackoffMax time.Duration
+	// BreakerThreshold is the consecutive-failure count at which the
+	// resolver drops its incremental SolverSession and falls back to
+	// full admission rounds; the breaker re-arms after the next
+	// successful solve (default 3; irrelevant when Solve is set).
+	BreakerThreshold int
+	// DegradedAfter is the consecutive-failure count at which /healthz
+	// turns degraded (default 3).
+	DegradedAfter int
+	// StaleAfter is how long the published plan may trail the registry
+	// before /healthz turns degraded (default 10 s).
+	StaleAfter time.Duration
+	// Faults optionally arms the serving stack's fault-injection points
+	// (see internal/faultinject). Nil — the default — leaves every
+	// point a no-op; chaos tests and the edgeserve -fault flag set it.
+	Faults *faultinject.Injector
 	// Solve optionally overrides the solver strategy. When nil the daemon
 	// runs the OffloaDNN heuristic *incrementally*: a core.SolverSession
 	// carries the weighted tree and converged allocations across epochs,
@@ -70,6 +106,7 @@ type Server struct {
 	resolver *Resolver
 	stats    *Stats
 	mux      *http.ServeMux
+	draining atomic.Bool
 }
 
 // New validates the configuration and starts the epoch re-solver.
@@ -95,28 +132,73 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Catalog.NumDNNs == 0 {
 		cfg.Catalog = workload.SmallCatalogParams()
 	}
+	if cfg.SolveTimeout < 0 {
+		return nil, fmt.Errorf("serve: solve timeout %v must be non-negative", cfg.SolveTimeout)
+	}
+	if cfg.FailureBackoff <= 0 {
+		cfg.FailureBackoff = cfg.Debounce
+	}
+	if cfg.FailureBackoffMax <= 0 {
+		cfg.FailureBackoffMax = 5 * time.Second
+	}
+	if cfg.FailureBackoffMax < cfg.FailureBackoff {
+		cfg.FailureBackoffMax = cfg.FailureBackoff
+	}
+	if cfg.BreakerThreshold <= 0 {
+		cfg.BreakerThreshold = 3
+	}
+	if cfg.DegradedAfter <= 0 {
+		cfg.DegradedAfter = 3
+	}
+	if cfg.StaleAfter <= 0 {
+		cfg.StaleAfter = 10 * time.Second
+	}
 	ctrl := edge.NewController(cfg.Res)
 	if cfg.Solve != nil {
 		ctrl.Solve = cfg.Solve
 	}
+	ctrl.Faults = cfg.Faults
 	s := &Server{
 		cfg:   cfg,
 		reg:   NewRegistry(cfg.Catalog, cfg.Blocks),
 		stats: newStats(cfg.Window, cfg.Now()),
 	}
-	s.resolver = newResolver(s.reg, ctrl, cfg.Res, cfg.Alpha, cfg.Debounce, cfg.Now, cfg.Logf, s.stats, cfg.Solve == nil)
+	s.resolver = newResolver(s.reg, ctrl, cfg.Res, cfg.Alpha, cfg.Debounce, cfg.Now, cfg.Logf, s.stats,
+		cfg.Solve == nil, resolverParams{
+			solveTimeout: cfg.SolveTimeout,
+			backoffBase:  cfg.FailureBackoff,
+			backoffMax:   cfg.FailureBackoffMax,
+			breakerN:     cfg.BreakerThreshold,
+			faults:       cfg.Faults,
+		})
 	s.mux = s.routes()
 	return s, nil
 }
 
-// Close stops the background re-solver. In-flight HTTP requests keep
-// serving off the last published epoch.
-func (s *Server) Close() { s.resolver.Close() }
+// Drain switches the server into draining mode: new registrations are
+// refused (ErrDraining, 503 over HTTP) while offloads for already
+// registered tasks keep serving off the last published epoch, so a
+// rolling restart sheds load without dropping in-flight traffic.
+// Idempotent; there is no un-drain.
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// Draining reports whether Drain (or Close) has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Close drains the server and stops the background re-solver. In-flight
+// HTTP requests keep serving off the last published epoch.
+func (s *Server) Close() {
+	s.Drain()
+	s.resolver.Close()
+}
 
 // Register adds a task (kicking a debounced re-solve). Tasks without
 // candidate paths get them built from the configured catalog; pre-built
 // tasks may bring their referenced blocks along.
 func (s *Server) Register(t core.Task, blocks map[string]core.BlockSpec) error {
+	if s.draining.Load() {
+		return ErrDraining
+	}
 	if err := s.reg.Register(t, blocks); err != nil {
 		return err
 	}

@@ -21,13 +21,16 @@ type taskCounters struct {
 type Stats struct {
 	start          time.Time
 	requests       atomic.Uint64
+	aborted        atomic.Uint64
 	solves         atomic.Uint64
 	solveErrors    atomic.Uint64
+	solvePanics    atomic.Uint64
 	lastSolveNanos atomic.Int64
 	latency        *metrics.Window
 
-	mu      sync.Mutex
-	perTask map[string]*taskCounters
+	mu           sync.Mutex
+	perTask      map[string]*taskCounters
+	lastSolveErr string
 }
 
 func newStats(window int, start time.Time) *Stats {
@@ -74,14 +77,42 @@ func (s *Stats) taskIDs() []string {
 	return ids
 }
 
+// setLastSolveError records (or, on nil, clears) the most recent solve
+// failure for /healthz.
+func (s *Stats) setLastSolveError(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err == nil {
+		s.lastSolveErr = ""
+		return
+	}
+	s.lastSolveErr = err.Error()
+}
+
+// LastSolveError returns the most recent solve failure, empty after a
+// success.
+func (s *Stats) LastSolveError() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastSolveErr
+}
+
 // Requests returns the total offload requests seen.
 func (s *Stats) Requests() uint64 { return s.requests.Load() }
+
+// Aborted returns the offload requests whose client disconnected before
+// gate work; they are counted here instead of consuming tokens.
+func (s *Stats) Aborted() uint64 { return s.aborted.Load() }
 
 // Solves returns the number of published epochs.
 func (s *Stats) Solves() uint64 { return s.solves.Load() }
 
 // SolveErrors returns the number of failed re-solves.
 func (s *Stats) SolveErrors() uint64 { return s.solveErrors.Load() }
+
+// SolvePanics returns how many solver panics were recovered into
+// counted solve errors.
+func (s *Stats) SolvePanics() uint64 { return s.solvePanics.Load() }
 
 // LastSolveLatency returns the duration of the most recent solve.
 func (s *Stats) LastSolveLatency() time.Duration {
