@@ -7,15 +7,22 @@ package offloadnn
 // bottom characterize the pieces the figures are built from.
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"offloadnn/internal/core"
 	"offloadnn/internal/dnn"
+	"offloadnn/internal/exec"
 	"offloadnn/internal/experiments"
 	"offloadnn/internal/profile"
+	"offloadnn/internal/radio"
 	"offloadnn/internal/semoran"
 	"offloadnn/internal/serve"
 	"offloadnn/internal/tensor"
@@ -504,6 +511,122 @@ func BenchmarkFullResolveChurn(b *testing.B) {
 		}
 	}
 	in.Tasks = with
+}
+
+// BenchmarkOffloadServe drives POST /v1/offload end to end — gate, route
+// lookup, real batched inference, JSON response — on a multi-task
+// deployment whose tasks all resolve to one shared path, so every request
+// funnels into a single model's batching queue. The batch1 variant
+// serializes one single-sample forward per request; batch8 aggregates
+// concurrent requests per ForwardBatch call, whose batched convolutions
+// shard across the tensor worker pool (conv2DInto parallelizes the batch
+// dimension only for n > 1). The ratio is therefore the batching win on
+// the serving hot path: ≥2× wherever GOMAXPROCS > 1; on a single-core
+// host the two converge, since every forward is strictly serial there.
+// The avgbatch metric confirms the batch8 queue actually fills.
+func BenchmarkOffloadServe(b *testing.B) {
+	const nTasks = 4
+	// A two-block catalog every task's only path runs through. Costs are
+	// sized so the solver admits all four tasks in full (z=1): rate
+	// z·λ·β = 1e5 b/s per task against ~3.5e5 b/s per RB, compute
+	// 4 × 1e5·2e-6 = 0.8 s/s against C=2.5.
+	blocks := map[string]core.BlockSpec{
+		"base/s1": {ID: "base/s1", ComputeSeconds: 1e-6, MemoryGB: 0.001},
+		"base/s2": {ID: "base/s2", ComputeSeconds: 1e-6, MemoryGB: 0.001},
+	}
+	tasks := make([]core.Task, nTasks)
+	for i := range tasks {
+		tasks[i] = core.Task{
+			ID:          fmt.Sprintf("bench-%d", i+1),
+			Priority:    1,
+			Rate:        1e5, // gate burst = one second of tokens; keeps the bucket out of the measurement
+			MinAccuracy: 0.5,
+			MaxLatency:  100 * time.Millisecond,
+			InputBits:   1,
+			SNRdB:       20,
+			Paths: []core.PathSpec{{
+				ID: "shared", DNN: "base", Blocks: []string{"base/s1", "base/s2"}, Accuracy: 0.9,
+			}},
+		}
+	}
+	model := dnn.ResNetConfig{
+		InChannels: 3, NumClasses: 8, BaseWidth: 8, StageBlocks: [4]int{1, 1, 1, 1}, Seed: 1,
+	}
+	input := make([]float64, 3*8*8)
+	for i := range input {
+		input[i] = float64(i%7) / 7
+	}
+	bodies := make([][]byte, nTasks)
+	for i, task := range tasks {
+		buf, err := json.Marshal(serve.OffloadRequest{Task: task.ID, Input: input})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bodies[i] = buf
+	}
+
+	for _, batch := range []int{1, 8} {
+		b.Run(fmt.Sprintf("batch%d", batch), func(b *testing.B) {
+			be, err := exec.NewReal(exec.RealConfig{
+				Model:       model,
+				Input:       [3]int{3, 8, 8},
+				BatchSize:   batch,
+				BatchWindow: 2 * time.Millisecond,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			srv, err := serve.New(serve.Config{
+				Res: core.Resources{
+					RBs: 50, ComputeSeconds: 2.5, MemoryGB: 8,
+					TrainBudgetSeconds: 1000, Capacity: radio.PaperRate(),
+				},
+				Alpha:    0.5,
+				Debounce: time.Hour, // keep the background loop out of the measurement
+				Backend:  be,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			for _, task := range tasks {
+				if err := srv.Register(task, blocks); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := srv.ForceResolve(); err != nil {
+				b.Fatal(err)
+			}
+			if st := be.Stats(); st.Models != 1 {
+				b.Fatalf("shared path deployed %d models, want 1", st.Models)
+			}
+
+			var next atomic.Int64
+			// Keep well over BatchSize requests in flight even at
+			// GOMAXPROCS=1, so batches fill instead of stalling on the
+			// window timer.
+			b.SetParallelism(4 * batch)
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := int(next.Add(1)) % nTasks
+					req := httptest.NewRequest(http.MethodPost, "/v1/offload", bytes.NewReader(bodies[i]))
+					req.Header.Set("Content-Type", "application/json")
+					rec := httptest.NewRecorder()
+					srv.ServeHTTP(rec, req)
+					if rec.Code != http.StatusOK {
+						b.Errorf("offload %s: %d %s", tasks[i].ID, rec.Code, rec.Body.String())
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			if st := be.Stats(); st.Batches > 0 {
+				b.ReportMetric(float64(st.Requests)/float64(st.Batches), "avgbatch")
+			}
+		})
+	}
 }
 
 // BenchmarkSolveOptimalParallelT4 times the parallel exhaustive solver at

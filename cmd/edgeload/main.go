@@ -11,6 +11,13 @@
 //	edgeload                              # 5 tasks, 10 s at λ against :8080
 //	edgeload -duration 30s -scale 2       # overdrive at 2λ: expect 429s
 //	edgeload -churn -seed 3               # dynamic arrivals and departures
+//
+// With -payload each offload carries a real input tensor (shape -input,
+// channels fixed at 3, matching edgeserve -backend real) and the
+// response's logits are validated: an admitted offload that comes back
+// without a well-formed logit vector counts as an error.
+//
+//	edgeload -payload -input 8x8          # drive real inference end to end
 package main
 
 import (
@@ -19,6 +26,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"net/http"
 	"os"
 	"sort"
@@ -33,13 +41,16 @@ import (
 // counts tallies one task's offload verdicts.
 type counts struct {
 	sent, ok, limited, missing, other int
+	badLogits                         int     // 200s with a missing/malformed logit vector
 	notified                          float64 // last admitted_rate the daemon reported
+	inferMS                           float64 // last measured inference latency
 }
 
 // loader is the shared HTTP client and result table.
 type loader struct {
-	base   string
-	client *http.Client
+	base    string
+	client  *http.Client
+	payload []float64 // input tensor sent with each offload; nil = probe mode
 
 	mu     sync.Mutex
 	byTask map[string]*counts
@@ -147,7 +158,7 @@ func (l *loader) offloadLoop(ctx context.Context, task core.Task, scale float64)
 		case <-ticker.C:
 		}
 		var or serve.OffloadResponse
-		status, err := l.postJSON("/v1/offload", serve.OffloadRequest{Task: task.ID}, &or)
+		status, err := l.postJSON("/v1/offload", serve.OffloadRequest{Task: task.ID, Input: l.payload}, &or)
 		l.mu.Lock()
 		c.sent++
 		switch {
@@ -156,6 +167,12 @@ func (l *loader) offloadLoop(ctx context.Context, task core.Task, scale float64)
 		case status == http.StatusOK:
 			c.ok++
 			c.notified = or.AdmittedRate
+			if l.payload != nil {
+				c.inferMS = or.MeasuredLatencyMS
+				if !or.Simulated && !validLogits(or) {
+					c.badLogits++
+				}
+			}
 		case status == http.StatusTooManyRequests:
 			c.limited++
 		case status == http.StatusNotFound:
@@ -165,6 +182,33 @@ func (l *loader) offloadLoop(ctx context.Context, task core.Task, scale float64)
 		}
 		l.mu.Unlock()
 	}
+}
+
+// validLogits checks an executed offload's model output: a non-empty,
+// finite logit vector whose argmax field indexes into it.
+func validLogits(or serve.OffloadResponse) bool {
+	if len(or.Logits) == 0 || or.Argmax == nil {
+		return false
+	}
+	if *or.Argmax < 0 || *or.Argmax >= len(or.Logits) {
+		return false
+	}
+	for _, v := range or.Logits {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// makePayload builds the deterministic 3×h×w input tensor every payload
+// offload carries.
+func makePayload(h, w int) []float64 {
+	in := make([]float64, 3*h*w)
+	for i := range in {
+		in[i] = float64(i%13) / 13
+	}
+	return in
 }
 
 func main() {
@@ -178,12 +222,22 @@ func run() int {
 	scale := flag.Float64("scale", 1.0, "request-rate multiplier on each task's λ")
 	churn := flag.Bool("churn", false, "follow the deterministic churn timeline instead of a static task set")
 	seed := flag.Int64("seed", 1, "churn timeline seed")
+	payload := flag.Bool("payload", false, "send a real input tensor with each offload and validate the returned logits")
+	inputShape := flag.String("input", "8x8", "payload input HxW (channels fixed at 3; match edgeserve -input)")
 	flag.Parse()
 
 	l := &loader{
 		base:   *addr,
 		client: &http.Client{Timeout: 5 * time.Second},
 		byTask: make(map[string]*counts),
+	}
+	if *payload {
+		var h, w int
+		if _, err := fmt.Sscanf(*inputShape, "%dx%d", &h, &w); err != nil || h <= 0 || w <= 0 {
+			fmt.Fprintf(os.Stderr, "edgeload: bad -input %q (want HxW, e.g. 8x8)\n", *inputShape)
+			return 2
+		}
+		l.payload = makePayload(h, w)
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *duration)
@@ -274,16 +328,30 @@ func run() int {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
-	fmt.Printf("\n%-10s %6s %6s %6s %6s %6s %14s %12s\n",
-		"task", "sent", "ok", "429", "404", "err", "notified(z·λ)", "achieved/s")
 	exit := 0
-	for _, id := range ids {
-		c := l.byTask[id]
-		fmt.Printf("%-10s %6d %6d %6d %6d %6d %14.2f %12.2f\n",
-			id, c.sent, c.ok, c.limited, c.missing, c.other,
-			c.notified, float64(c.ok)/duration.Seconds())
-		if c.other > 0 {
-			exit = 1
+	if l.payload != nil {
+		fmt.Printf("\n%-10s %6s %6s %6s %6s %6s %9s %14s %12s\n",
+			"task", "sent", "ok", "429", "404", "err", "badlogit", "notified(z·λ)", "infer(ms)")
+		for _, id := range ids {
+			c := l.byTask[id]
+			fmt.Printf("%-10s %6d %6d %6d %6d %6d %9d %14.2f %12.3f\n",
+				id, c.sent, c.ok, c.limited, c.missing, c.other, c.badLogits,
+				c.notified, c.inferMS)
+			if c.other > 0 || c.badLogits > 0 {
+				exit = 1
+			}
+		}
+	} else {
+		fmt.Printf("\n%-10s %6s %6s %6s %6s %6s %14s %12s\n",
+			"task", "sent", "ok", "429", "404", "err", "notified(z·λ)", "achieved/s")
+		for _, id := range ids {
+			c := l.byTask[id]
+			fmt.Printf("%-10s %6d %6d %6d %6d %6d %14.2f %12.2f\n",
+				id, c.sent, c.ok, c.limited, c.missing, c.other,
+				c.notified, float64(c.ok)/duration.Seconds())
+			if c.other > 0 {
+				exit = 1
+			}
 		}
 	}
 	l.mu.Unlock()

@@ -11,7 +11,9 @@
 //	                        min_accuracy, max_latency_ms, input_bits, snr_db)
 //	GET    /v1/tasks        list tasks with their current admission verdicts
 //	DELETE /v1/tasks/{id}   deregister a task
-//	POST   /v1/offload      offload one request (JSON: {"task": "..."})
+//	POST   /v1/offload      offload one request (JSON: {"task": "...",
+//	                        "input": [...]}; with an input the response
+//	                        carries logits, argmax and measured latency)
 //	GET    /healthz         liveness + epoch/generation state
 //	GET    /metrics         text metrics (counters, rates, latency quantiles)
 //
@@ -19,6 +21,13 @@
 //
 //	edgeserve                          # Table-IV small-scenario resources on :8080
 //	edgeserve -addr :9000 -catalog large -rbs 100 -compute 10 -memory 16
+//
+// By default offloads answer from the planning cost model (simulated
+// backend). -backend real assembles tensor-backed models per deployed
+// path — shared blocks instantiated once — and batches admitted inputs
+// through them:
+//
+//	edgeserve -backend real -batch-size 8 -batch-window 2ms -model-width 8 -input 8x8
 //
 // Chaos runs arm fault-injection points (repeatable -fault flag):
 //
@@ -43,6 +52,8 @@ import (
 	"time"
 
 	"offloadnn/internal/core"
+	"offloadnn/internal/dnn"
+	"offloadnn/internal/exec"
 	"offloadnn/internal/faultinject"
 	"offloadnn/internal/radio"
 	"offloadnn/internal/serve"
@@ -63,6 +74,11 @@ func run() int {
 	debounce := flag.Duration("debounce", 100*time.Millisecond, "churn batching window before a re-solve")
 	window := flag.Int("window", 4096, "latency quantile window (samples)")
 	catalog := flag.String("catalog", "small", "DNN catalog for submitted tasks: small|large")
+	backendKind := flag.String("backend", "sim", "execution backend: sim (cost model) | real (tensor models)")
+	batchSize := flag.Int("batch-size", 8, "real backend: max requests per inference batch")
+	batchWindow := flag.Duration("batch-window", 2*time.Millisecond, "real backend: max wait for a partial batch")
+	modelWidth := flag.Int("model-width", 8, "real backend: base channel width of the model template")
+	inputShape := flag.String("input", "8x8", "real backend: input HxW (channels fixed at 3)")
 	solveTimeout := flag.Duration("solve-timeout", 0, "deadline for one epoch's solve (0 = unbounded)")
 	staleAfter := flag.Duration("stale-after", 10*time.Second, "plan staleness before /healthz reports degraded")
 	backoff := flag.Duration("backoff", 0, "initial retry delay after a failed re-solve (0 = debounce)")
@@ -102,6 +118,37 @@ func run() int {
 		return 2
 	}
 
+	var backend exec.Backend
+	switch *backendKind {
+	case "sim":
+		// Leave Config.Backend nil: serve.New wires the cost model.
+	case "real":
+		var h, w int
+		if _, err := fmt.Sscanf(*inputShape, "%dx%d", &h, &w); err != nil || h <= 0 || w <= 0 {
+			fmt.Fprintf(os.Stderr, "edgeserve: bad -input %q (want HxW, e.g. 8x8)\n", *inputShape)
+			return 2
+		}
+		model := dnn.DefaultResNetConfig()
+		model.BaseWidth = *modelWidth
+		be, err := exec.NewReal(exec.RealConfig{
+			Model:       model,
+			Input:       [3]int{model.InChannels, h, w},
+			BatchSize:   *batchSize,
+			BatchWindow: *batchWindow,
+			Logf:        log.Printf,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "edgeserve:", err)
+			return 2
+		}
+		backend = be
+		log.Printf("edgeserve: real backend (width=%d, input=3x%dx%d, batch=%d/%v)",
+			*modelWidth, h, w, *batchSize, *batchWindow)
+	default:
+		fmt.Fprintf(os.Stderr, "edgeserve: unknown backend %q (want sim|real)\n", *backendKind)
+		return 2
+	}
+
 	srv, err := serve.New(serve.Config{
 		Res: core.Resources{
 			RBs:                *rbs,
@@ -120,6 +167,7 @@ func run() int {
 		FailureBackoffMax: *backoffMax,
 		BreakerThreshold:  *breaker,
 		Faults:            faults,
+		Backend:           backend,
 		Logf:              log.Printf,
 	})
 	if err != nil {

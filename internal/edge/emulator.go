@@ -143,6 +143,10 @@ func (e *Emulator) Run() (*Result, error) {
 	}
 
 	res := &Result{}
+	// The emulator draws its per-task design values from the same cost
+	// model the resolver and the simulated execution backend use.
+	costs := PlanCosts(e.inst.Tasks, e.inst.Blocks, e.inst.Res, e.deploy,
+		e.cfg.LinkRateFactor, e.cfg.ComputeScale)
 	var states []*taskState
 	for i, a := range e.deploy.Solution.Assignments {
 		task := &e.inst.Tasks[i]
@@ -151,20 +155,12 @@ func (e *Emulator) Run() (*Result, error) {
 		if !a.Admitted() {
 			continue
 		}
-		b := e.inst.Res.Capacity.BitsPerRBPerSecond(task.SNRdB)
-		if f := e.cfg.LinkRateFactor; f > 0 {
-			b *= f
-		}
-		tx := time.Duration(a.Bits(task) / (b * float64(a.RBs)) * float64(time.Second))
-		proc := e.inst.PathCompute(a.Path)
-		if e.cfg.ComputeScale > 0 {
-			proc *= e.cfg.ComputeScale
-		}
+		cost := costs[task.ID]
 		states = append(states, &taskState{
 			idx:      i,
 			rate:     e.deploy.AdmittedRates[task.ID],
-			txTime:   tx,
-			procTime: proc,
+			txTime:   cost.Tx,
+			procTime: cost.Proc.Seconds(),
 		})
 	}
 	// Traces live in res.Traces; point states at them.

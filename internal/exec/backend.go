@@ -1,0 +1,123 @@
+// Package exec is the serving daemon's execution layer: the piece that
+// turns a solved deployment (which paths are admitted, which blocks are
+// active) into something that can actually answer an offloaded request.
+//
+// The layer is a single pluggable interface with two implementations:
+//
+//   - Real assembles tensor-backed models per deployed path from the
+//     block catalog, instantiating each shared block exactly once
+//     (refcounted across paths and epochs — the operational form of the
+//     paper's constraint (1b) memory sharing) and running admitted
+//     requests through size- and deadline-bounded per-model batching
+//     queues that feed dnn.Model.ForwardBatch.
+//
+//   - Simulated answers with the deployment's planned cost model
+//     (edge.PlanCosts — the same arithmetic the Fig. 11 emulator and
+//     the resolver's predicted latency use), so the predict-only serving
+//     mode stops being a parallel code path.
+//
+// The resolver installs every published epoch into the backend
+// atomically with the deployment swap: blocks shared between consecutive
+// epochs are retained (warm swap), blocks no surviving path references
+// are released.
+package exec
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"offloadnn/internal/core"
+	"offloadnn/internal/edge"
+)
+
+// ErrNoModel reports an Infer for a task the installed plan does not
+// admit (or before any plan was installed).
+var ErrNoModel = errors.New("exec: no model deployed for task")
+
+// ErrBadInput reports an input tensor whose length does not match the
+// backend's expected input shape.
+var ErrBadInput = errors.New("exec: input does not match model input shape")
+
+// ErrReleased reports an Infer that raced an epoch swap which released
+// the task's model; the caller should retry against the new epoch.
+var ErrReleased = errors.New("exec: model released by epoch swap")
+
+// ErrClosed reports use of a closed backend.
+var ErrClosed = errors.New("exec: backend closed")
+
+// Plan is one epoch's deployment handed to the backend: the task
+// snapshot the assignments are parallel to, the block catalog, the
+// resource pool and the controller's deployment. A nil Deployment (empty
+// registry) releases every model.
+type Plan struct {
+	// Epoch is the sequence number of the epoch being installed.
+	Epoch uint64
+	// Tasks is the task order Deployment.Solution.Assignments is
+	// parallel to.
+	Tasks []core.Task
+	// Blocks is the catalog every path's block IDs resolve against.
+	Blocks map[string]core.BlockSpec
+	// Res is the capacity pool the plan was solved against.
+	Res core.Resources
+	// Deployment is the admission outcome; nil for an empty registry.
+	Deployment *edge.Deployment
+}
+
+// Output is the result of one executed offload.
+type Output struct {
+	// Logits is the model output row for the request's input; nil when
+	// the backend does not run a real model (Simulated).
+	Logits []float64
+	// Argmax is the index of the largest logit (class prediction);
+	// -1 when Logits is nil.
+	Argmax int
+	// BatchSize is the size of the batch the request was served in.
+	BatchSize int
+	// Latency is the measured (Real) or modeled (Simulated) end-to-end
+	// execution time of the request.
+	Latency time.Duration
+	// Simulated marks outputs produced by the cost model rather than a
+	// real forward pass.
+	Simulated bool
+}
+
+// Stats is a point-in-time snapshot of the backend's execution state,
+// exported on /metrics.
+type Stats struct {
+	// Models is the number of live assembled models.
+	Models int
+	// Blocks is the number of live shared block instances.
+	Blocks int
+	// QueueDepth is the number of requests waiting in batching queues.
+	QueueDepth int
+	// LastBatchSize is the size of the most recently executed batch.
+	LastBatchSize int
+	// Batches and Requests count executed batches and the requests they
+	// carried since the backend was constructed; Requests/Batches is the
+	// achieved average batch size.
+	Batches  int64
+	Requests int64
+}
+
+// Backend executes admitted offloads under the currently installed plan.
+// Install and Close serialize with each other (the resolver calls them
+// under its solve lock); Infer is safe for concurrent use and may
+// overlap an Install (requests racing a swap that releases their model
+// get ErrReleased).
+type Backend interface {
+	// Install swaps the backend onto a new epoch's deployment, building
+	// models for newly admitted paths, retaining those shared with the
+	// previous epoch and releasing the rest. An error leaves the
+	// previous plan in place.
+	Install(plan *Plan) error
+	// Infer runs one input through the model deployed for the task.
+	Infer(ctx context.Context, taskID string, input []float64) (Output, error)
+	// InputShape returns the expected per-request input shape (C, H, W),
+	// or nil when the backend accepts any input (Simulated).
+	InputShape() []int
+	// Stats snapshots the execution counters.
+	Stats() Stats
+	// Close releases every model and stops the batching executors.
+	Close()
+}

@@ -1,0 +1,520 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"offloadnn/internal/dnn"
+	"offloadnn/internal/edge"
+	"offloadnn/internal/tensor"
+)
+
+// RealConfig parameterizes the tensor-backed execution backend.
+type RealConfig struct {
+	// Model is the scaled architecture template every catalog block is
+	// instantiated from (zero value: dnn.DefaultResNetConfig).
+	Model dnn.ResNetConfig
+	// Input is the per-request input shape (C, H, W); zero value:
+	// (Model.InChannels, 8, 8).
+	Input [3]int
+	// BatchSize bounds how many admitted requests one ForwardBatch call
+	// serves (default 8; 1 disables batching).
+	BatchSize int
+	// BatchWindow bounds how long a partially filled batch waits for
+	// more requests before executing (default 2 ms).
+	BatchWindow time.Duration
+	// Repo optionally supplies trained weights: a block whose mangled ID
+	// ('/' → '_') names a stored one-block model starts from those
+	// weights instead of the seeded initialization.
+	Repo *edge.Repository
+	// Logf, when set, receives weight-loading diagnostics. Nil discards.
+	Logf func(string, ...any)
+}
+
+// blockInstance is one live shared block: the unit of the refcount that
+// operationalizes constraint (1b) — however many deployed paths (and
+// tasks, and epochs) reference a block ID, exactly one instance exists.
+type blockInstance struct {
+	block *dnn.Block
+	stage int // 0 stem, 1..4 stages, 5 classifier
+	refs  int // models currently aliasing the instance
+}
+
+// inferReq is one admitted request waiting in a model's batching queue.
+type inferReq struct {
+	input []float64
+	resp  chan inferResp
+}
+
+type inferResp struct {
+	logits []float64
+	batch  int
+	err    error
+}
+
+// modelEntry is one assembled path model plus its batching executor. An
+// entry is keyed by the path's block-ID signature, so tasks assigned the
+// same path share one entry — and their requests batch together.
+type modelEntry struct {
+	sig   string
+	model *dnn.Model
+	keys  []string // library keys the model aliases (stem, stages, classifier)
+	refs  int      // tasks routed to the entry by the installed plan
+	reqs  chan *inferReq
+	done  chan struct{} // closed when the entry is released
+}
+
+// Real is the tensor-backed execution backend. Install assembles one
+// dnn.Model per distinct admitted path, aliasing refcounted shared block
+// instances; Infer funnels requests into per-model batching queues that
+// execute dnn.Model.ForwardBatch.
+type Real struct {
+	cfg RealConfig
+
+	// mu guards lib/models/closed across Install/Close/Stats; the Infer
+	// hot path reads only the atomic routes pointer.
+	mu     sync.Mutex
+	lib    map[string]*blockInstance
+	models map[string]*modelEntry
+	closed bool
+
+	// routes maps task ID → model entry for the installed plan; swapped
+	// atomically so Infer never takes mu.
+	routes atomic.Pointer[map[string]*modelEntry]
+
+	lastBatch atomic.Int64
+	batches   atomic.Int64
+	requests  atomic.Int64
+	wg        sync.WaitGroup
+}
+
+// NewReal constructs a tensor-backed backend; every Infer fails with
+// ErrNoModel until the first Install.
+func NewReal(cfg RealConfig) (*Real, error) {
+	if cfg.Model.BaseWidth == 0 {
+		cfg.Model = dnn.DefaultResNetConfig()
+	}
+	if cfg.Input == [3]int{} {
+		cfg.Input = [3]int{cfg.Model.InChannels, 8, 8}
+	}
+	if cfg.Input[0] != cfg.Model.InChannels {
+		return nil, fmt.Errorf("exec: input channels %d != model channels %d", cfg.Input[0], cfg.Model.InChannels)
+	}
+	if cfg.Input[1] <= 0 || cfg.Input[2] <= 0 {
+		return nil, fmt.Errorf("exec: non-positive input shape %v", cfg.Input)
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 8
+	}
+	if cfg.BatchWindow <= 0 {
+		cfg.BatchWindow = 2 * time.Millisecond
+	}
+	r := &Real{
+		cfg:    cfg,
+		lib:    make(map[string]*blockInstance),
+		models: make(map[string]*modelEntry),
+	}
+	empty := map[string]*modelEntry{}
+	r.routes.Store(&empty)
+	return r, nil
+}
+
+// pathSignature keys a model entry: two assignments with the same block
+// sequence share one model (and one batch queue).
+func pathSignature(blocks []string) string { return strings.Join(blocks, "|") }
+
+// pruneRatioOf parses the structured-pruning convention of catalog block
+// IDs: a "/pNN" suffix means NN% of internal channels removed.
+func pruneRatioOf(id string) float64 {
+	i := strings.LastIndex(id, "/p")
+	if i < 0 {
+		return 0
+	}
+	n, err := strconv.Atoi(id[i+2:])
+	if err != nil || n <= 0 || n >= 100 {
+		return 0
+	}
+	return float64(n) / 100
+}
+
+// mangleRepoName maps a catalog block ID onto a repository model name
+// (the repository forbids path separators).
+func mangleRepoName(id string) string { return strings.ReplaceAll(id, "/", "_") }
+
+// seedOf decorrelates the initialization of distinct block IDs sharing a
+// stage (FNV-1a over the ID).
+func seedOf(id string) int64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= 1099511628211
+	}
+	return int64(h)
+}
+
+// instantiate returns the live instance for a library key, building it
+// on first reference. build runs with mu held (instantiation is part of
+// the epoch swap, not the request path). The returned instance has its
+// refcount untouched — retain/release manage it.
+func (r *Real) instantiate(key string, stage int, build func() (*dnn.Block, error)) (*blockInstance, error) {
+	if inst, ok := r.lib[key]; ok {
+		if inst.stage != stage {
+			return nil, fmt.Errorf("exec: block %q used at stage %d and %d", key, inst.stage, stage)
+		}
+		return inst, nil
+	}
+	b, err := build()
+	if err != nil {
+		return nil, err
+	}
+	inst := &blockInstance{block: b, stage: stage}
+	r.lib[key] = inst
+	return inst, nil
+}
+
+// stageBlock builds one catalog block as a template stage, loading
+// stored weights from the repository when available.
+func (r *Real) stageBlock(id string, stage int) (*dnn.Block, error) {
+	b, err := dnn.BuildStageBlock(r.cfg.Model, id, stage, pruneRatioOf(id), seedOf(id))
+	if err != nil {
+		return nil, fmt.Errorf("exec: block %q: %w", id, err)
+	}
+	if r.cfg.Repo != nil {
+		if m, err := r.cfg.Repo.Load(mangleRepoName(id)); err == nil && len(m.Blocks) > 0 {
+			if err := dnn.CopyWeights(b, m.Blocks[0]); err != nil && r.cfg.Logf != nil {
+				r.cfg.Logf("exec: weights for %q ignored: %v", id, err)
+			}
+		}
+	}
+	return b, nil
+}
+
+// buildEntry assembles the model for a path, resolving (and creating on
+// demand) its shared block instances. mu held.
+func (r *Real) buildEntry(sig string, blockIDs []string) (*modelEntry, error) {
+	keys := make([]string, 0, len(blockIDs)+2)
+	stem, err := r.instantiate("stem", 0, func() (*dnn.Block, error) {
+		return dnn.BuildStemBlock(r.cfg.Model), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	keys = append(keys, "stem")
+	stages := make([]*dnn.Block, 0, len(blockIDs))
+	for i, id := range blockIDs {
+		stage := min(i+1, 4)
+		inst, err := r.instantiate(id, stage, func() (*dnn.Block, error) {
+			return r.stageBlock(id, stage)
+		})
+		if err != nil {
+			return nil, err
+		}
+		keys = append(keys, id)
+		stages = append(stages, inst.block)
+	}
+	featureDim := dnn.StageWidth(r.cfg.Model, len(blockIDs))
+	clsKey := "classifier/" + strconv.Itoa(featureDim)
+	cls, err := r.instantiate(clsKey, 5, func() (*dnn.Block, error) {
+		return dnn.BuildClassifierBlock(r.cfg.Model, featureDim), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	keys = append(keys, clsKey)
+	model, err := dnn.AssemblePathModel("exec/"+sig, stem.block, stages, cls.block)
+	if err != nil {
+		return nil, err
+	}
+	e := &modelEntry{
+		sig:   sig,
+		model: model,
+		keys:  keys,
+		reqs:  make(chan *inferReq, 4*r.cfg.BatchSize),
+		done:  make(chan struct{}),
+	}
+	return e, nil
+}
+
+// Install implements Backend. The swap is warm: model entries (and the
+// block instances they alias) that survive from the previous plan are
+// retained untouched — their batch queues keep draining across the
+// epoch boundary — while entries no surviving assignment references are
+// released and their blocks' refcounts decremented (freed at zero).
+// On error the previous plan stays installed.
+func (r *Real) Install(plan *Plan) error {
+	if plan == nil {
+		return fmt.Errorf("exec: nil plan")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return ErrClosed
+	}
+
+	// Resolve the desired model set, building entries for new paths.
+	desired := make(map[string]*modelEntry)
+	routes := make(map[string]*modelEntry)
+	var created []*modelEntry
+	fail := func(err error) error {
+		// Creation is side-effect free until commit except for library
+		// inserts, which released() prunes below.
+		for _, e := range created {
+			close(e.done)
+		}
+		r.pruneUnreferenced(desired)
+		return err
+	}
+	if plan.Deployment != nil && plan.Deployment.Solution != nil {
+		for _, a := range plan.Deployment.Solution.Assignments {
+			if !a.Admitted() {
+				continue
+			}
+			sig := pathSignature(a.Path.Blocks)
+			e, ok := desired[sig]
+			if !ok {
+				if e, ok = r.models[sig]; !ok {
+					var err error
+					e, err = r.buildEntry(sig, a.Path.Blocks)
+					if err != nil {
+						return fail(fmt.Errorf("exec: install epoch %d: %w", plan.Epoch, err))
+					}
+					created = append(created, e)
+				}
+				e.refs = 0
+				desired[sig] = e
+			}
+			e.refs++
+			routes[a.TaskID] = e
+		}
+	}
+
+	// Commit: retire entries absent from the desired set, start the
+	// executors of the created ones, swap the routing table.
+	for sig, e := range r.models {
+		if _, keep := desired[sig]; !keep {
+			for _, k := range e.keys {
+				if inst := r.lib[k]; inst != nil {
+					inst.refs--
+				}
+			}
+			close(e.done)
+			delete(r.models, sig)
+		}
+	}
+	for _, e := range created {
+		for _, k := range e.keys {
+			r.lib[k].refs++
+		}
+		r.models[e.sig] = e
+		r.wg.Add(1)
+		go r.serveModel(e)
+	}
+	r.pruneUnreferenced(desired)
+	r.routes.Store(&routes)
+	return nil
+}
+
+// pruneUnreferenced drops zero-ref library instances (including ones
+// speculatively built by a failed Install). mu held.
+func (r *Real) pruneUnreferenced(map[string]*modelEntry) {
+	for k, inst := range r.lib {
+		if inst.refs <= 0 {
+			delete(r.lib, k)
+		}
+	}
+}
+
+// Infer implements Backend: the request joins its model's batching
+// queue and blocks until the batch it lands in executes. The measured
+// latency spans enqueue to result — queueing, batching wait and the
+// forward pass.
+func (r *Real) Infer(ctx context.Context, taskID string, input []float64) (Output, error) {
+	e := (*r.routes.Load())[taskID]
+	if e == nil {
+		return Output{}, fmt.Errorf("%w: %q", ErrNoModel, taskID)
+	}
+	want := r.cfg.Input[0] * r.cfg.Input[1] * r.cfg.Input[2]
+	if len(input) != want {
+		return Output{}, fmt.Errorf("%w: got %d values, model wants %d (%dx%dx%d)",
+			ErrBadInput, len(input), want, r.cfg.Input[0], r.cfg.Input[1], r.cfg.Input[2])
+	}
+	req := &inferReq{input: input, resp: make(chan inferResp, 1)}
+	start := time.Now()
+	select {
+	case e.reqs <- req:
+	case <-e.done:
+		return Output{}, ErrReleased
+	case <-ctx.Done():
+		return Output{}, ctx.Err()
+	}
+	select {
+	case resp := <-req.resp:
+		if resp.err != nil {
+			return Output{}, resp.err
+		}
+		argmax := 0
+		for i, v := range resp.logits {
+			if v > resp.logits[argmax] {
+				argmax = i
+			}
+		}
+		return Output{
+			Logits:    resp.logits,
+			Argmax:    argmax,
+			BatchSize: resp.batch,
+			Latency:   time.Since(start),
+		}, nil
+	case <-ctx.Done():
+		// The batch will still execute; its result for this request is
+		// dropped (resp is buffered, the executor never blocks).
+		return Output{}, ctx.Err()
+	}
+}
+
+// serveModel is one entry's batching executor: it collects up to
+// BatchSize requests (waiting at most BatchWindow after the first) and
+// runs them through one ForwardBatch call.
+func (r *Real) serveModel(e *modelEntry) {
+	defer r.wg.Done()
+	for {
+		var first *inferReq
+		select {
+		case <-e.done:
+			r.drain(e)
+			return
+		case first = <-e.reqs:
+		}
+		batch := []*inferReq{first}
+		if r.cfg.BatchSize > 1 {
+			timer := time.NewTimer(r.cfg.BatchWindow)
+		fill:
+			for len(batch) < r.cfg.BatchSize {
+				select {
+				case q := <-e.reqs:
+					batch = append(batch, q)
+				case <-timer.C:
+					break fill
+				case <-e.done:
+					break fill
+				}
+			}
+			timer.Stop()
+		}
+		r.runBatch(e, batch)
+	}
+}
+
+// drain answers queued requests of a released entry with ErrReleased.
+func (r *Real) drain(e *modelEntry) {
+	for {
+		select {
+		case q := <-e.reqs:
+			q.resp <- inferResp{err: ErrReleased}
+		default:
+			return
+		}
+	}
+}
+
+// runBatch assembles the batch tensor, executes the forward pass and
+// distributes the per-request logit rows.
+func (r *Real) runBatch(e *modelEntry, batch []*inferReq) {
+	n := len(batch)
+	c, h, w := r.cfg.Input[0], r.cfg.Input[1], r.cfg.Input[2]
+	per := c * h * w
+	x := tensor.Rent(n, c, h, w)
+	for i, q := range batch {
+		copy(x.Data()[i*per:(i+1)*per], q.input)
+	}
+	y, err := e.model.ForwardBatch(x)
+	tensor.Release(x)
+	r.lastBatch.Store(int64(n))
+	r.batches.Add(1)
+	r.requests.Add(int64(n))
+	if err != nil {
+		for _, q := range batch {
+			q.resp <- inferResp{err: fmt.Errorf("exec: forward: %w", err)}
+		}
+		return
+	}
+	outPer := y.Len() / n
+	for i, q := range batch {
+		logits := make([]float64, outPer)
+		copy(logits, y.Data()[i*outPer:(i+1)*outPer])
+		q.resp <- inferResp{logits: logits, batch: n}
+	}
+	tensor.Release(y)
+}
+
+// InputShape implements Backend.
+func (r *Real) InputShape() []int {
+	return []int{r.cfg.Input[0], r.cfg.Input[1], r.cfg.Input[2]}
+}
+
+// Stats implements Backend.
+func (r *Real) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	depth := 0
+	for _, e := range r.models {
+		depth += len(e.reqs)
+	}
+	return Stats{
+		Models:        len(r.models),
+		Blocks:        len(r.lib),
+		QueueDepth:    depth,
+		LastBatchSize: int(r.lastBatch.Load()),
+		Batches:       r.batches.Load(),
+		Requests:      r.requests.Load(),
+	}
+}
+
+// BlockRefs snapshots the shared-block refcounts (library key → number
+// of live models aliasing the instance) — the assertion surface for the
+// instantiated-exactly-once property.
+func (r *Real) BlockRefs() map[string]int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int, len(r.lib))
+	for k, inst := range r.lib {
+		out[k] = inst.refs
+	}
+	return out
+}
+
+// SharedBlock returns the live instance for a library key (nil when the
+// block is not deployed) — lets tests assert pointer identity across
+// tasks and epochs.
+func (r *Real) SharedBlock(key string) *dnn.Block {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if inst, ok := r.lib[key]; ok {
+		return inst.block
+	}
+	return nil
+}
+
+// Close implements Backend: releases every model and waits for the
+// batching executors to exit.
+func (r *Real) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	for sig, e := range r.models {
+		close(e.done)
+		delete(r.models, sig)
+	}
+	r.lib = map[string]*blockInstance{}
+	empty := map[string]*modelEntry{}
+	r.routes.Store(&empty)
+	r.mu.Unlock()
+	r.wg.Wait()
+}

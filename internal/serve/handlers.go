@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"offloadnn/internal/core"
+	"offloadnn/internal/exec"
 )
 
 // TaskSpec is the JSON body of POST /v1/tasks: the request-side fields
@@ -38,13 +40,21 @@ func (s TaskSpec) Task() core.Task {
 	}
 }
 
-// OffloadRequest is the JSON body of POST /v1/offload.
+// OffloadRequest is the JSON body of POST /v1/offload. A request without
+// Input is an admission probe (pre-execution-layer behavior): it spends a
+// gate token and returns the planned serving parameters. A request with
+// Input runs the frame through the execution backend after the gate
+// admits it.
 type OffloadRequest struct {
 	Task string `json:"task"`
+	// Input is the flattened input tensor (C·H·W values, the backend's
+	// InputShape order); empty for an admission probe.
+	Input []float64 `json:"input,omitempty"`
 }
 
 // OffloadResponse is the success body of POST /v1/offload: the epoch
-// that admitted the request and the planned serving parameters.
+// that admitted the request, the planned serving parameters, and — for
+// executed requests — the model output and measured latency.
 type OffloadResponse struct {
 	Task         string  `json:"task"`
 	Epoch        uint64  `json:"epoch"`
@@ -52,6 +62,12 @@ type OffloadResponse struct {
 	Path         string  `json:"path,omitempty"`
 	DNN          string  `json:"dnn,omitempty"`
 	LatencyMS    float64 `json:"latency_ms"`
+	// Executed fields, present only when the request carried an input.
+	MeasuredLatencyMS float64   `json:"measured_latency_ms,omitempty"`
+	BatchSize         int       `json:"batch_size,omitempty"`
+	Logits            []float64 `json:"logits,omitempty"`
+	Argmax            *int      `json:"argmax,omitempty"`
+	Simulated         bool      `json:"simulated,omitempty"`
 }
 
 // TaskStatus is one entry of GET /v1/tasks.
@@ -99,6 +115,9 @@ const (
 	CodeOverRate = "over_rate"
 	// CodeDraining: registration refused while the server drains (503).
 	CodeDraining = "draining"
+	// CodeBackend: the execution backend failed the admitted request
+	// (500; retried requests may land on the next epoch's models).
+	CodeBackend = "backend_failed"
 )
 
 // errorBody is the unified JSON error envelope.
@@ -182,12 +201,9 @@ func (s *Server) handleListTasks(w http.ResponseWriter, r *http.Request) {
 			if lat, ok := ep.PredictedLatency(t.ID); ok {
 				st.LatencyMS = float64(lat) / float64(time.Millisecond)
 			}
-			for i, a := range ep.Deployment.Solution.Assignments {
-				if ep.Tasks[i].ID == t.ID && a.Path != nil {
-					st.Path = a.Path.ID
-					st.DNN = a.Path.DNN
-					break
-				}
+			if a, ok := ep.Assignment(t.ID); ok {
+				st.Path = a.Path.ID
+				st.DNN = a.Path.DNN
 			}
 		}
 		out = append(out, st)
@@ -198,7 +214,9 @@ func (s *Server) handleListTasks(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleOffload(w http.ResponseWriter, r *http.Request) {
 	s.stats.requests.Add(1)
 	var req OffloadRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+	// 1 MiB: a full-quality input tensor serialized as JSON numbers
+	// (e.g. 3x32x32 floats) comfortably fits; anything bigger is abuse.
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err := dec.Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "invalid offload request: %v", err)
 		return
@@ -242,11 +260,35 @@ func (s *Server) handleOffload(w http.ResponseWriter, r *http.Request) {
 		AdmittedRate: ep.AdmittedRate(req.Task),
 		LatencyMS:    float64(lat) / float64(time.Millisecond),
 	}
-	for i, a := range ep.Deployment.Solution.Assignments {
-		if ep.Tasks[i].ID == req.Task && a.Path != nil {
-			resp.Path = a.Path.ID
-			resp.DNN = a.Path.DNN
-			break
+	if a, ok := ep.Assignment(req.Task); ok {
+		resp.Path = a.Path.ID
+		resp.DNN = a.Path.DNN
+	}
+	if len(req.Input) > 0 {
+		out, err := s.backend.Infer(r.Context(), req.Task, req.Input)
+		if err != nil {
+			switch {
+			case errors.Is(err, exec.ErrBadInput):
+				writeError(w, http.StatusBadRequest, CodeInvalidRequest, "%v", err)
+			case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+				s.stats.aborted.Add(1)
+				w.WriteHeader(499)
+			default:
+				// ErrNoModel/ErrReleased mean the request raced an epoch
+				// swap between the gate and the backend; the client
+				// retries against the new epoch like any backend failure.
+				writeError(w, http.StatusInternalServerError, CodeBackend, "%v", err)
+			}
+			return
+		}
+		s.stats.recordInfer(req.Task, out.Latency.Seconds())
+		resp.MeasuredLatencyMS = float64(out.Latency) / float64(time.Millisecond)
+		resp.BatchSize = out.BatchSize
+		resp.Simulated = out.Simulated
+		if out.Logits != nil {
+			resp.Logits = out.Logits
+			am := out.Argmax
+			resp.Argmax = &am
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -345,4 +387,27 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintf(w, "offloadnn_latency_seconds{quantile=%q} %g\n", q, qs[i])
 		}
 	}
+	// Execution-layer families: per-task measured inference latency plus
+	// the backend's batching state.
+	family("offloadnn_infer_latency_seconds", "summary", "Measured inference latency quantiles per task (executed offloads only).")
+	for _, id := range s.stats.taskIDs() {
+		win := s.stats.InferWindow(id)
+		if win == nil {
+			continue
+		}
+		if qs, err := win.Quantiles(50, 95, 99); err == nil {
+			for i, q := range []string{"0.5", "0.95", "0.99"} {
+				fmt.Fprintf(w, "offloadnn_infer_latency_seconds{task=%q,quantile=%q} %g\n", id, q, qs[i])
+			}
+		}
+	}
+	bs := s.backend.Stats()
+	family("offloadnn_batch_size", "gauge", "Size of the most recently executed inference batch.")
+	fmt.Fprintf(w, "offloadnn_batch_size %d\n", bs.LastBatchSize)
+	family("offloadnn_backend_queue_depth", "gauge", "Requests waiting in the backend's batching queues.")
+	fmt.Fprintf(w, "offloadnn_backend_queue_depth %d\n", bs.QueueDepth)
+	family("offloadnn_backend_models", "gauge", "Live assembled path models in the execution backend.")
+	fmt.Fprintf(w, "offloadnn_backend_models %d\n", bs.Models)
+	family("offloadnn_backend_blocks", "gauge", "Live shared block instances in the execution backend.")
+	fmt.Fprintf(w, "offloadnn_backend_blocks %d\n", bs.Blocks)
 }

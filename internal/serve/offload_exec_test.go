@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"offloadnn/internal/dnn"
+	"offloadnn/internal/exec"
+)
+
+func newRealBackend(t *testing.T) *exec.Real {
+	t.Helper()
+	be, err := exec.NewReal(exec.RealConfig{
+		Model: dnn.ResNetConfig{
+			InChannels: 3, NumClasses: 4, BaseWidth: 4, StageBlocks: [4]int{1, 1, 1, 1}, Seed: 9,
+		},
+		BatchSize:   4,
+		BatchWindow: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return be
+}
+
+func payloadFor(be exec.Backend) []float64 {
+	shape := be.InputShape()
+	in := make([]float64, shape[0]*shape[1]*shape[2])
+	for i := range in {
+		in[i] = float64(i%11) / 11
+	}
+	return in
+}
+
+// TestOffloadExecutesPayload drives the full loop against the real
+// backend: register → epoch → POST /v1/offload with an input tensor →
+// real logits, argmax and measured latency in the response. A request
+// without a payload keeps the pre-execution-layer response shape.
+func TestOffloadExecutesPayload(t *testing.T) {
+	be := newRealBackend(t)
+	srv := newTestServer(t, Config{Debounce: time.Millisecond, Backend: be})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp := postJSON(t, ts.URL+"/v1/tasks", smallSpec(t, 1))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("register: %d %s", resp.StatusCode, drain(t, resp))
+	}
+	drain(t, resp)
+	waitCurrent(t, ts.URL)
+
+	// Executed offload: payload in, logits out.
+	resp = postJSON(t, ts.URL+"/v1/offload", OffloadRequest{Task: "task-1", Input: payloadFor(be)})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("offload: %d %s", resp.StatusCode, drain(t, resp))
+	}
+	var out OffloadResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(out.Logits) != 4 {
+		t.Fatalf("executed offload returned %d logits, want 4: %+v", len(out.Logits), out)
+	}
+	if out.Argmax == nil || *out.Argmax < 0 || *out.Argmax > 3 {
+		t.Fatalf("executed offload argmax %v, want 0..3", out.Argmax)
+	}
+	if out.MeasuredLatencyMS <= 0 || out.BatchSize < 1 {
+		t.Fatalf("executed offload missing measurements: %+v", out)
+	}
+	if out.Simulated {
+		t.Fatalf("real backend answered simulated: %+v", out)
+	}
+
+	// Admission probe: no payload, no logits — the PR-1 response shape.
+	resp = postJSON(t, ts.URL+"/v1/offload", OffloadRequest{Task: "task-1"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("probe offload: %d %s", resp.StatusCode, drain(t, resp))
+	}
+	var probe OffloadResponse
+	if err := json.NewDecoder(resp.Body).Decode(&probe); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if probe.Logits != nil || probe.Argmax != nil || probe.MeasuredLatencyMS != 0 {
+		t.Fatalf("payload-less offload grew execution fields: %+v", probe)
+	}
+	if probe.Path == "" || probe.AdmittedRate <= 0 {
+		t.Fatalf("payload-less offload lost planning fields: %+v", probe)
+	}
+
+	// A wrong-size payload is the client's fault, not the backend's.
+	resp = postJSON(t, ts.URL+"/v1/offload", OffloadRequest{Task: "task-1", Input: []float64{1, 2}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad payload: %d, want 400 (%s)", resp.StatusCode, drain(t, resp))
+	}
+	drain(t, resp)
+
+	// The executed offload shows up in the metrics exposition.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metricsBody := drain(t, mresp)
+	for _, want := range []string{
+		`offloadnn_infer_latency_seconds{task="task-1",quantile="0.5"}`,
+		"offloadnn_batch_size",
+		"offloadnn_backend_queue_depth",
+		"offloadnn_backend_models",
+	} {
+		if !strings.Contains(metricsBody, want) {
+			t.Fatalf("metrics exposition missing %q:\n%s", want, metricsBody)
+		}
+	}
+}
+
+// TestOffloadSimulatedDefault checks the default backend: a payload
+// offload through an unconfigured server answers from the cost model —
+// simulated flag set, no logits, modeled latency.
+func TestOffloadSimulatedDefault(t *testing.T) {
+	srv := newTestServer(t, Config{Debounce: time.Millisecond})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp := postJSON(t, ts.URL+"/v1/tasks", smallSpec(t, 1))
+	drain(t, resp)
+	waitCurrent(t, ts.URL)
+
+	resp = postJSON(t, ts.URL+"/v1/offload", OffloadRequest{Task: "task-1", Input: []float64{1, 2, 3}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("offload: %d %s", resp.StatusCode, drain(t, resp))
+	}
+	var out OffloadResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !out.Simulated {
+		t.Fatalf("default backend did not mark output simulated: %+v", out)
+	}
+	if out.Logits != nil {
+		t.Fatalf("cost model produced logits: %+v", out)
+	}
+	if out.MeasuredLatencyMS <= 0 {
+		t.Fatalf("simulated offload lost its modeled latency: %+v", out)
+	}
+}
+
+// TestBackendInstallTracksEpochs asserts the resolver drives the backend
+// lifecycle: models exist while tasks are deployed and are released when
+// the registry empties.
+func TestBackendInstallTracksEpochs(t *testing.T) {
+	be := newRealBackend(t)
+	srv := newTestServer(t, Config{Debounce: time.Millisecond, Backend: be})
+
+	spec := smallSpec(t, 1)
+	if err := srv.Register(spec.Task(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.ResolveNow(); err != nil {
+		t.Fatal(err)
+	}
+	if st := be.Stats(); st.Models == 0 || st.Blocks == 0 {
+		t.Fatalf("deployed epoch left the backend empty: %+v", st)
+	}
+	if err := srv.Deregister(spec.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.ResolveNow(); err != nil {
+		t.Fatal(err)
+	}
+	if st := be.Stats(); st.Models != 0 || st.Blocks != 0 {
+		t.Fatalf("empty registry left models installed: %+v", st)
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"offloadnn/internal/core"
 	"offloadnn/internal/edge"
+	"offloadnn/internal/exec"
 	"offloadnn/internal/faultinject"
 )
 
@@ -39,6 +40,7 @@ type Epoch struct {
 
 	gates   map[string]*Gate
 	latency map[string]time.Duration
+	assign  map[string]core.Assignment
 }
 
 // Gate returns the admission gate for a task, or nil when the epoch does
@@ -69,6 +71,16 @@ func (e *Epoch) PredictedLatency(id string) (time.Duration, bool) {
 	return d, ok
 }
 
+// Assignment returns the task's admitted assignment, built once at epoch
+// construction so the request path never scans the solution slice.
+func (e *Epoch) Assignment(id string) (core.Assignment, bool) {
+	if e == nil {
+		return core.Assignment{}, false
+	}
+	a, ok := e.assign[id]
+	return a, ok
+}
+
 // Resolver owns the epoch lifecycle: it watches the registry for churn,
 // debounces it, re-runs the admission round and atomically publishes the
 // resulting epoch. A kick during an in-flight solve is retained, so the
@@ -92,6 +104,7 @@ func (e *Epoch) PredictedLatency(id string) (time.Duration, bool) {
 type Resolver struct {
 	reg      *Registry
 	ctrl     *edge.Controller
+	backend  exec.Backend
 	res      core.Resources
 	alpha    float64
 	debounce time.Duration
@@ -150,6 +163,7 @@ type resolverParams struct {
 	backoffMax   time.Duration
 	breakerN     int
 	faults       *faultinject.Injector
+	backend      exec.Backend
 }
 
 func newResolver(reg *Registry, ctrl *edge.Controller, res core.Resources, alpha float64,
@@ -159,6 +173,7 @@ func newResolver(reg *Registry, ctrl *edge.Controller, res core.Resources, alpha
 	r := &Resolver{
 		reg:          reg,
 		ctrl:         ctrl,
+		backend:      p.backend,
 		res:          res,
 		alpha:        alpha,
 		debounce:     debounce,
@@ -327,6 +342,7 @@ func (r *Resolver) resolve(force bool) error {
 		Tasks:      tasks,
 		gates:      make(map[string]*Gate),
 		latency:    make(map[string]time.Duration),
+		assign:     make(map[string]core.Assignment),
 	}
 	if len(tasks) == 0 {
 		r.session = nil // an empty registry resets the incremental session
@@ -341,22 +357,34 @@ func (r *Resolver) resolve(force bool) error {
 		tasks = solved
 		ep.Tasks = solved
 		ep.Deployment = dep
-		for i, a := range dep.Solution.Assignments {
+		// The predicted latencies are the unscaled planning costs — the
+		// same arithmetic the emulator and the simulated backend apply
+		// their factors to.
+		costs := edge.PlanCosts(tasks, blocks, r.res, dep, 0, 0)
+		for _, a := range dep.Solution.Assignments {
 			if !a.Admitted() {
 				continue
 			}
-			task := &tasks[i]
 			ep.gates[a.TaskID] = NewGate(dep.AdmittedRates[a.TaskID], r.now)
-			proc := 0.0
-			for _, b := range a.Path.Blocks {
-				proc += blocks[b].ComputeSeconds
-			}
-			perRB := r.res.Capacity.BitsPerRBPerSecond(task.SNRdB)
-			tx := 0.0
-			if perRB > 0 && a.RBs > 0 {
-				tx = a.Bits(task) / (perRB * float64(a.RBs))
-			}
-			ep.latency[a.TaskID] = time.Duration((tx + proc) * float64(time.Second))
+			ep.latency[a.TaskID] = costs[a.TaskID].Total()
+			ep.assign[a.TaskID] = a
+		}
+	}
+	// Install the deployment into the execution backend before the epoch
+	// becomes visible: a failed install (e.g. a path naming a block the
+	// model template cannot realize) keeps the previous epoch — and the
+	// previous backend plan — serving.
+	if r.backend != nil {
+		if err := r.backend.Install(&exec.Plan{
+			Epoch:      r.epochN + 1,
+			Tasks:      ep.Tasks,
+			Blocks:     blocks,
+			Res:        r.res,
+			Deployment: ep.Deployment,
+		}); err != nil {
+			err = fmt.Errorf("serve: backend install: %w", err)
+			r.recordFailure(err)
+			return err
 		}
 	}
 	ep.SolveLatency = r.now().Sub(start)

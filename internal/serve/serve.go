@@ -27,6 +27,7 @@ import (
 
 	"offloadnn/internal/core"
 	"offloadnn/internal/edge"
+	"offloadnn/internal/exec"
 	"offloadnn/internal/faultinject"
 	"offloadnn/internal/workload"
 )
@@ -84,6 +85,13 @@ type Config struct {
 	// (see internal/faultinject). Nil — the default — leaves every
 	// point a no-op; chaos tests and the edgeserve -fault flag set it.
 	Faults *faultinject.Injector
+	// Backend is the execution layer every published epoch is installed
+	// into and admitted offloads with a payload run through. Nil — the
+	// default — uses the cost-model backend (exec.NewSimulated with the
+	// planning-rate factors), so offloads answer with planned latencies
+	// and no logits; wire an exec.Real for tensor-backed inference. The
+	// server owns the backend: Close closes it.
+	Backend exec.Backend
 	// Solve optionally overrides the solver strategy. When nil the daemon
 	// runs the OffloaDNN heuristic *incrementally*: a core.SolverSession
 	// carries the weighted tree and converged allocations across epochs,
@@ -104,6 +112,7 @@ type Server struct {
 	cfg      Config
 	reg      *Registry
 	resolver *Resolver
+	backend  exec.Backend
 	stats    *Stats
 	mux      *http.ServeMux
 	draining atomic.Bool
@@ -153,15 +162,19 @@ func New(cfg Config) (*Server, error) {
 	if cfg.StaleAfter <= 0 {
 		cfg.StaleAfter = 10 * time.Second
 	}
+	if cfg.Backend == nil {
+		cfg.Backend = exec.NewSimulated(exec.SimulatedConfig{})
+	}
 	ctrl := edge.NewController(cfg.Res)
 	if cfg.Solve != nil {
 		ctrl.Solve = cfg.Solve
 	}
 	ctrl.Faults = cfg.Faults
 	s := &Server{
-		cfg:   cfg,
-		reg:   NewRegistry(cfg.Catalog, cfg.Blocks),
-		stats: newStats(cfg.Window, cfg.Now()),
+		cfg:     cfg,
+		reg:     NewRegistry(cfg.Catalog, cfg.Blocks),
+		backend: cfg.Backend,
+		stats:   newStats(cfg.Window, cfg.Now()),
 	}
 	s.resolver = newResolver(s.reg, ctrl, cfg.Res, cfg.Alpha, cfg.Debounce, cfg.Now, cfg.Logf, s.stats,
 		cfg.Solve == nil, resolverParams{
@@ -170,6 +183,7 @@ func New(cfg Config) (*Server, error) {
 			backoffMax:   cfg.FailureBackoffMax,
 			breakerN:     cfg.BreakerThreshold,
 			faults:       cfg.Faults,
+			backend:      cfg.Backend,
 		})
 	s.mux = s.routes()
 	return s, nil
@@ -185,11 +199,15 @@ func (s *Server) Drain() { s.draining.Store(true) }
 // Draining reports whether Drain (or Close) has been called.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
-// Close drains the server and stops the background re-solver. In-flight
-// HTTP requests keep serving off the last published epoch.
+// Close drains the server, stops the background re-solver, then closes
+// the execution backend (in that order: the resolver is the only caller
+// of Install, so stopping it first means no epoch can race the
+// backend's teardown). In-flight HTTP requests keep serving off the
+// last published epoch; ones mid-inference get ErrReleased.
 func (s *Server) Close() {
 	s.Drain()
 	s.resolver.Close()
+	s.backend.Close()
 }
 
 // Register adds a task (kicking a debounced re-solve). Tasks without
@@ -232,6 +250,10 @@ func (s *Server) Registry() *Registry { return s.reg }
 
 // Stats exposes the live counters.
 func (s *Server) Stats() *Stats { return s.stats }
+
+// Backend exposes the execution layer the server serves inference
+// through.
+func (s *Server) Backend() exec.Backend { return s.backend }
 
 // ServeHTTP implements http.Handler over the daemon's API surface.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }

@@ -13,6 +13,10 @@ import (
 type taskCounters struct {
 	admitted atomic.Uint64
 	rejected atomic.Uint64
+	// infer holds the task's measured inference latencies (seconds);
+	// allocated on the first executed offload, nil for predict-only
+	// traffic.
+	infer atomic.Pointer[metrics.Window]
 }
 
 // Stats aggregates the daemon's live counters: request totals, per-task
@@ -27,6 +31,7 @@ type Stats struct {
 	solvePanics    atomic.Uint64
 	lastSolveNanos atomic.Int64
 	latency        *metrics.Window
+	window         int
 
 	mu           sync.Mutex
 	perTask      map[string]*taskCounters
@@ -37,6 +42,7 @@ func newStats(window int, start time.Time) *Stats {
 	return &Stats{
 		start:   start,
 		latency: metrics.NewWindow(window),
+		window:  window,
 		perTask: make(map[string]*taskCounters),
 	}
 }
@@ -57,6 +63,34 @@ func (s *Stats) task(id string) *taskCounters {
 func (s *Stats) recordAdmit(id string, latencySeconds float64) {
 	s.task(id).admitted.Add(1)
 	s.latency.Add(latencySeconds)
+}
+
+// recordInfer folds one executed offload's measured latency (seconds)
+// into the task's inference-quantile window.
+func (s *Stats) recordInfer(id string, latencySeconds float64) {
+	c := s.task(id)
+	w := c.infer.Load()
+	if w == nil {
+		fresh := metrics.NewWindow(s.window)
+		if c.infer.CompareAndSwap(nil, fresh) {
+			w = fresh
+		} else {
+			w = c.infer.Load()
+		}
+	}
+	w.Add(latencySeconds)
+}
+
+// InferWindow returns the task's measured inference-latency window, nil
+// when the task has executed no offloads.
+func (s *Stats) InferWindow(id string) *metrics.Window {
+	s.mu.Lock()
+	c, ok := s.perTask[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	return c.infer.Load()
 }
 
 // recordReject counts a rate-rejected offload.

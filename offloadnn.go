@@ -26,6 +26,7 @@ import (
 
 	"offloadnn/internal/core"
 	"offloadnn/internal/edge"
+	"offloadnn/internal/exec"
 	"offloadnn/internal/experiments"
 	"offloadnn/internal/radio"
 	"offloadnn/internal/semoran"
@@ -253,6 +254,41 @@ type (
 // NewEdgeServer starts a serving daemon (its epoch re-solver goroutine
 // runs until Close). Serve it with net/http: it implements http.Handler.
 func NewEdgeServer(cfg EdgeServerConfig) (*EdgeServer, error) { return serve.New(cfg) }
+
+// Execution-layer types: the pluggable backend admitted offloads run
+// through. Every published epoch is installed into the configured
+// backend atomically with the deployment swap.
+type (
+	// ExecBackend is the execution-layer interface: Install an epoch's
+	// deployment, Infer admitted inputs under it.
+	ExecBackend = exec.Backend
+	// ExecPlan is one epoch's deployment handed to a backend.
+	ExecPlan = exec.Plan
+	// ExecOutput is the result of one executed offload (logits, argmax,
+	// batch size, measured latency).
+	ExecOutput = exec.Output
+	// RealBackend assembles tensor-backed models per deployed path,
+	// instantiating shared blocks exactly once and batching admitted
+	// requests through dnn ForwardBatch.
+	RealBackend = exec.Real
+	// RealBackendConfig parameterizes a RealBackend.
+	RealBackendConfig = exec.RealConfig
+	// SimulatedBackend answers offloads from the deployment's planned
+	// cost model (the same arithmetic the emulator uses).
+	SimulatedBackend = exec.Simulated
+	// SimulatedBackendConfig parameterizes a SimulatedBackend.
+	SimulatedBackendConfig = exec.SimulatedConfig
+)
+
+// NewRealBackend constructs the tensor-backed execution backend; wire it
+// into EdgeServerConfig.Backend for real inference behind /v1/offload.
+func NewRealBackend(cfg RealBackendConfig) (*RealBackend, error) { return exec.NewReal(cfg) }
+
+// NewSimulatedBackend constructs the cost-model execution backend (the
+// EdgeServer default).
+func NewSimulatedBackend(cfg SimulatedBackendConfig) *SimulatedBackend {
+	return exec.NewSimulated(cfg)
+}
 
 // ChurnTimeline derives a deterministic register/deregister schedule
 // over the Table-IV small-scenario tasks for driving an EdgeServer.
