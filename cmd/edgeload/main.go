@@ -18,6 +18,15 @@
 // without a well-formed logit vector counts as an error.
 //
 //	edgeload -payload -input 8x8          # drive real inference end to end
+//
+// With -cluster the loader drives an edgecluster coordinator instead:
+// 502/503 answers are counted as failover events rather than errors (a
+// member died and the re-placement is moving its tasks), client-side
+// request latency quantiles are reported, and -bench-out merges the
+// run's throughput / p50 / p99 / admission ratio into a JSON benchmark
+// file keyed by cluster size — run it once per topology:
+//
+//	edgeload -cluster -bench-out BENCH_cluster.json          # 1, 2 or 4 nodes
 package main
 
 import (
@@ -41,6 +50,7 @@ import (
 // counts tallies one task's offload verdicts.
 type counts struct {
 	sent, ok, limited, missing, other int
+	failover                          int     // 502/503 answers in -cluster mode
 	badLogits                         int     // 200s with a missing/malformed logit vector
 	notified                          float64 // last admitted_rate the daemon reported
 	inferMS                           float64 // last measured inference latency
@@ -51,9 +61,11 @@ type loader struct {
 	base    string
 	client  *http.Client
 	payload []float64 // input tensor sent with each offload; nil = probe mode
+	cluster bool      // tolerate failover answers, record client latencies
 
 	mu     sync.Mutex
 	byTask map[string]*counts
+	latMS  []float64 // client-side latency of every answered offload
 }
 
 func (l *loader) task(id string) *counts {
@@ -119,7 +131,8 @@ func (l *loader) deregister(id string) error {
 }
 
 // waitCurrent polls /healthz until the daemon's epoch covers the latest
-// registration churn.
+// registration churn. Against a coordinator it instead waits for the
+// cluster-wide placement to reach the registry generation.
 func (l *loader) waitCurrent(timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for time.Now().Before(deadline) {
@@ -128,20 +141,44 @@ func (l *loader) waitCurrent(timeout time.Duration) error {
 			return err
 		}
 		var h struct {
-			Epoch   uint64 `json:"epoch"`
-			Current bool   `json:"current"`
+			Epoch      uint64 `json:"epoch"`
+			Current    bool   `json:"current"`
+			Generation uint64 `json:"generation"`
+			Placement  struct {
+				Seq        uint64 `json:"seq"`
+				Generation uint64 `json:"generation"`
+			} `json:"placement"`
 		}
 		err = json.NewDecoder(resp.Body).Decode(&h)
 		resp.Body.Close()
 		if err != nil {
 			return err
 		}
-		if h.Current && h.Epoch > 0 {
+		if l.cluster {
+			if h.Placement.Seq > 0 && h.Placement.Generation >= h.Generation {
+				return nil
+			}
+		} else if h.Current && h.Epoch > 0 {
 			return nil
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
 	return fmt.Errorf("daemon epoch never caught up within %v", timeout)
+}
+
+// clusterNodes reads the coordinator's member count for the benchmark
+// record.
+func (l *loader) clusterNodes() int {
+	resp, err := l.client.Get(l.base + "/v1/cluster/nodes")
+	if err != nil {
+		return 0
+	}
+	defer resp.Body.Close()
+	var nodes []json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&nodes); err != nil {
+		return 0
+	}
+	return len(nodes)
 }
 
 // offloadLoop fires requests for one task at rate λ·scale until the
@@ -158,12 +195,21 @@ func (l *loader) offloadLoop(ctx context.Context, task core.Task, scale float64)
 		case <-ticker.C:
 		}
 		var or serve.OffloadResponse
+		begun := time.Now()
 		status, err := l.postJSON("/v1/offload", serve.OffloadRequest{Task: task.ID, Input: l.payload}, &or)
+		elapsedMS := float64(time.Since(begun)) / float64(time.Millisecond)
 		l.mu.Lock()
 		c.sent++
+		if err == nil && l.cluster {
+			l.latMS = append(l.latMS, elapsedMS)
+		}
 		switch {
 		case err != nil:
 			c.other++
+		case l.cluster && (status == http.StatusBadGateway || status == http.StatusServiceUnavailable):
+			// A member died (or is draining) and the coordinator is
+			// re-placing its tasks; the next request lands on a survivor.
+			c.failover++
 		case status == http.StatusOK:
 			c.ok++
 			c.notified = or.AdmittedRate
@@ -224,12 +270,15 @@ func run() int {
 	seed := flag.Int64("seed", 1, "churn timeline seed")
 	payload := flag.Bool("payload", false, "send a real input tensor with each offload and validate the returned logits")
 	inputShape := flag.String("input", "8x8", "payload input HxW (channels fixed at 3; match edgeserve -input)")
+	clusterMode := flag.Bool("cluster", false, "drive an edgecluster coordinator: tolerate 502/503 failover, report client-side latency quantiles")
+	benchOut := flag.String("bench-out", "", "cluster mode: merge the run's results into this JSON benchmark file, keyed by cluster size")
 	flag.Parse()
 
 	l := &loader{
-		base:   *addr,
-		client: &http.Client{Timeout: 5 * time.Second},
-		byTask: make(map[string]*counts),
+		base:    *addr,
+		client:  &http.Client{Timeout: 5 * time.Second},
+		byTask:  make(map[string]*counts),
+		cluster: *clusterMode,
 	}
 	if *payload {
 		var h, w int
@@ -341,6 +390,18 @@ func run() int {
 				exit = 1
 			}
 		}
+	} else if l.cluster {
+		fmt.Printf("\n%-10s %6s %6s %6s %6s %9s %6s %14s %12s\n",
+			"task", "sent", "ok", "429", "404", "failover", "err", "notified(z·λ)", "achieved/s")
+		for _, id := range ids {
+			c := l.byTask[id]
+			fmt.Printf("%-10s %6d %6d %6d %6d %9d %6d %14.2f %12.2f\n",
+				id, c.sent, c.ok, c.limited, c.missing, c.failover, c.other,
+				c.notified, float64(c.ok)/duration.Seconds())
+			if c.other > 0 {
+				exit = 1
+			}
+		}
 	} else {
 		fmt.Printf("\n%-10s %6s %6s %6s %6s %6s %14s %12s\n",
 			"task", "sent", "ok", "429", "404", "err", "notified(z·λ)", "achieved/s")
@@ -354,6 +415,116 @@ func run() int {
 			}
 		}
 	}
+
+	if l.cluster {
+		run := clusterRun(l, *duration)
+		run.Nodes = l.clusterNodes()
+		fmt.Printf("\ncluster: %d nodes, %.1f req/s served, p50 %.2f ms, p99 %.2f ms, admission ratio %.3f, %d failover answers\n",
+			run.Nodes, run.ThroughputRPS, run.P50MS, run.P99MS, run.AdmissionRatio, run.Failover)
+		if *benchOut != "" {
+			if err := mergeBench(*benchOut, run); err != nil {
+				fmt.Fprintln(os.Stderr, "edgeload: bench-out:", err)
+				exit = 1
+			} else {
+				fmt.Printf("cluster: recorded %d-node run in %s\n", run.Nodes, *benchOut)
+			}
+		}
+	}
 	l.mu.Unlock()
 	return exit
+}
+
+// benchRun is one topology's entry in the -bench-out file.
+type benchRun struct {
+	Nodes          int     `json:"nodes"`
+	Tasks          int     `json:"tasks"`
+	DurationS      float64 `json:"duration_seconds"`
+	Sent           int     `json:"sent"`
+	OK             int     `json:"ok"`
+	Limited        int     `json:"limited"`
+	Failover       int     `json:"failover"`
+	Errors         int     `json:"errors"`
+	ThroughputRPS  float64 `json:"throughput_rps"`
+	P50MS          float64 `json:"p50_ms"`
+	P99MS          float64 `json:"p99_ms"`
+	AdmissionRatio float64 `json:"admission_ratio"`
+}
+
+// clusterRun folds the per-task counters and latency samples into one
+// benchmark record. Caller holds l.mu.
+func clusterRun(l *loader, duration time.Duration) benchRun {
+	r := benchRun{Tasks: len(l.byTask), DurationS: duration.Seconds()}
+	var notified, offered float64
+	for id, c := range l.byTask {
+		r.Sent += c.sent
+		r.OK += c.ok
+		r.Limited += c.limited
+		r.Failover += c.failover
+		r.Errors += c.other + c.missing
+		notified += c.notified
+		// Offered rate λ comes from the task's small-scenario index.
+		var idx int
+		if _, err := fmt.Sscanf(id, "task-%d", &idx); err == nil {
+			if t, err := workload.SmallTask(idx); err == nil {
+				offered += t.Rate
+			}
+		}
+	}
+	r.ThroughputRPS = float64(r.OK) / duration.Seconds()
+	if offered > 0 {
+		r.AdmissionRatio = notified / offered
+	}
+	sort.Float64s(l.latMS)
+	r.P50MS = percentile(l.latMS, 0.50)
+	r.P99MS = percentile(l.latMS, 0.99)
+	return r
+}
+
+// percentile reads quantile q from an ascending-sorted sample set.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// benchFile is the -bench-out document: one entry per cluster size, so
+// successive runs at 1, 2 and 4 nodes build the scaling table in place.
+type benchFile struct {
+	Benchmark string     `json:"benchmark"`
+	Runs      []benchRun `json:"runs"`
+}
+
+// mergeBench inserts the run into the bench file, replacing any previous
+// entry for the same cluster size.
+func mergeBench(path string, run benchRun) error {
+	doc := benchFile{Benchmark: "cluster_serving"}
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			return fmt.Errorf("existing %s is not a benchmark file: %v", path, err)
+		}
+	}
+	replaced := false
+	for i := range doc.Runs {
+		if doc.Runs[i].Nodes == run.Nodes {
+			doc.Runs[i] = run
+			replaced = true
+		}
+	}
+	if !replaced {
+		doc.Runs = append(doc.Runs, run)
+	}
+	sort.Slice(doc.Runs, func(i, j int) bool { return doc.Runs[i].Nodes < doc.Runs[j].Nodes })
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
 }

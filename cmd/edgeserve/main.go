@@ -37,6 +37,14 @@
 //
 // Under injected faults the daemon keeps serving off its last-good
 // epoch and /healthz reports degraded until solves recover.
+//
+// Cluster-member mode joins an edgecluster coordinator: the daemon
+// advertises its budgets, heartbeats, and accepts plan pushes (its task
+// subset of the cluster-wide placement) on PUT /v1/cluster/plan while the
+// standalone API keeps serving:
+//
+//	edgeserve -addr :8081 -node-id a -cluster-join http://coordinator:8080 \
+//	          -advertise http://edge-a:8081 -rbs 25 -compute 1.25
 package main
 
 import (
@@ -51,6 +59,7 @@ import (
 	"syscall"
 	"time"
 
+	"offloadnn/internal/cluster"
 	"offloadnn/internal/core"
 	"offloadnn/internal/dnn"
 	"offloadnn/internal/exec"
@@ -85,6 +94,11 @@ func run() int {
 	backoffMax := flag.Duration("backoff-max", 5*time.Second, "retry delay cap under consecutive failures")
 	breaker := flag.Int("breaker", 3, "consecutive failures before falling back to full (non-incremental) solves")
 	drainGrace := flag.Duration("drain-grace", 1*time.Second, "window after SIGTERM where the listener stays open in draining mode")
+	clusterJoin := flag.String("cluster-join", "", "coordinator base URL to join as a cluster member (empty = standalone)")
+	nodeID := flag.String("node-id", "", "cluster member node ID (required with -cluster-join)")
+	advertise := flag.String("advertise", "", "base URL the coordinator reaches this member on (default: http://127.0.0.1<addr>)")
+	heartbeat := flag.Duration("heartbeat", time.Second, "cluster heartbeat period")
+	bandwidthMbps := flag.Float64("bandwidth-mbps", 0, "coordinator link rate to report; 0 measures it with a probe transfer")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for probabilistic fault triggers")
 	var faultSpecs []string
 	flag.Func("fault", "arm a fault-injection point, e.g. solver.error:p=0.3 (repeatable)", func(v string) error {
@@ -169,6 +183,7 @@ func run() int {
 		Faults:            faults,
 		Backend:           backend,
 		Logf:              log.Printf,
+		Node:              *nodeID,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "edgeserve:", err)
@@ -176,15 +191,51 @@ func run() int {
 	}
 	defer srv.Close()
 
+	var handler http.Handler = srv
+	if *clusterJoin != "" {
+		if *nodeID == "" {
+			fmt.Fprintln(os.Stderr, "edgeserve: -cluster-join requires -node-id")
+			return 2
+		}
+		// A member serves the full standalone API plus the plan-push
+		// endpoint the coordinator installs placements through.
+		handler = cluster.MemberHandler(srv)
+	}
+
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv,
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	log.Printf("edgeserve: listening on %s (R=%d RBs, C=%gs, M=%g GB, α=%g, catalog=%s, debounce=%v)",
 		*addr, *rbs, *compute, *memory, *alpha, *catalog, *debounce)
+
+	var agent *cluster.Agent
+	if *clusterJoin != "" {
+		adv := *advertise
+		if adv == "" {
+			if (*addr)[0] == ':' {
+				adv = "http://127.0.0.1" + *addr
+			} else {
+				adv = "http://" + *addr
+			}
+		}
+		agent, err = cluster.StartAgent(srv, cluster.AgentConfig{
+			Coordinator:   *clusterJoin,
+			NodeID:        *nodeID,
+			Advertise:     adv,
+			Heartbeat:     *heartbeat,
+			BandwidthMbps: *bandwidthMbps,
+			Logf:          log.Printf,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "edgeserve:", err)
+			return 2
+		}
+		log.Printf("edgeserve: joining cluster at %s as node %s (advertise %s)", *clusterJoin, *nodeID, adv)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -195,10 +246,14 @@ func run() int {
 			return 1
 		}
 	case s := <-sig:
-		// Drain first and hold the listener open for the grace window:
+		// Leave the cluster first so the coordinator re-places our tasks,
+		// then drain and hold the listener open for the grace window:
 		// registrations 503 while new offloads keep serving off the last
 		// epoch. Shutdown closes the listener, so without this window
 		// clients would see connection refused instead of "draining".
+		if agent != nil {
+			agent.Close()
+		}
 		srv.Drain()
 		log.Printf("edgeserve: %v, draining then shutting down", s)
 		select {

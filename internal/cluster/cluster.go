@@ -1,0 +1,95 @@
+// Package cluster grows the single-daemon OffloaDNN reproduction into a
+// multi-node edge cluster: a coordinator that owns the task registry and
+// partitions admitted work across a fleet of edgeserve members, each
+// running its own DOT epoch loop against its own M/C/R budgets.
+//
+// The pieces map onto the SEIFER-style split (arXiv 2210.12218):
+//
+//	membership  → members register/heartbeat/leave over HTTP; the
+//	              coordinator tracks each node with the serve health
+//	              states and declares a node stale when beats stop
+//	bandwidth   → each member measures its node-to-coordinator link
+//	              (POSTing a probe payload) and reports it with every
+//	              heartbeat; the link rate shrinks the latency budget a
+//	              task has left once its frames are forwarded to the node
+//	placement   → Place bin-packs tasks by descending priority over
+//	              per-node core.SolverSessions, spilling to the next
+//	              node when a budget binds (placement.go)
+//	deployment  → the coordinator pushes each node's task subset and
+//	              budgets (PUT /v1/cluster/plan); the member re-solves
+//	              locally and installs through its exec backend as a
+//	              standalone daemon would
+//	routing     → the coordinator proxies /v1/offload to the owning node
+//	              through an atomically swapped task→node table
+//
+// Join, leave, failure (heartbeat timeout or a failed proxy/push) and
+// bandwidth drift all kick a debounced cluster-wide re-placement, so the
+// routing table converges onto the surviving fleet the way a single
+// daemon's epoch converges onto its registry.
+package cluster
+
+import (
+	"time"
+
+	"offloadnn/internal/core"
+)
+
+// Fault-injection points wired into the coordinator (see
+// internal/faultinject; the suffix selects the failure mode).
+const (
+	// PointPushError fails a plan push to a member node after placement
+	// (the node is treated as failed and the placement retried without
+	// it).
+	PointPushError = "cluster.push.error"
+	// PointProxyError fails a proxied offload before it reaches the
+	// owning node (answered 502, counted per node).
+	PointProxyError = "cluster.proxy.error"
+	// PointHeartbeatDrop makes the coordinator silently discard a
+	// received heartbeat, simulating beat loss on the path to the
+	// heartbeat-timeout failure detector.
+	PointHeartbeatDrop = "cluster.heartbeat.drop"
+)
+
+// Node is one cluster member as the placement layer sees it: an identity,
+// a serving address, its own capacity pool and the measured bandwidth of
+// the coordinator→node link.
+type Node struct {
+	// ID names the node uniquely within the cluster.
+	ID string
+	// Addr is the base URL the node's edgeserve API answers on.
+	Addr string
+	// Res is the node's own M/C/R capacity pool; every task placed on
+	// the node is solved against it.
+	Res core.Resources
+	// BandwidthMbps is the measured coordinator→node link rate in
+	// megabits per second. Zero or negative means unmeasured/co-located:
+	// forwarding is free and no latency budget is charged.
+	BandwidthMbps float64
+}
+
+// ForwardDelay returns how long one frame of the given size spends on
+// the coordinator→node link, zero when the link is unmeasured.
+func (n Node) ForwardDelay(bits float64) time.Duration {
+	if n.BandwidthMbps <= 0 || bits <= 0 {
+		return 0
+	}
+	return time.Duration(bits / (n.BandwidthMbps * 1e6) * float64(time.Second))
+}
+
+// AdjustTask returns the task as node n's DOT instance must see it: the
+// latency ceiling L_τ shrunk by the forward delay of one full-quality
+// frame over the coordinator→node link, so the node's solver only admits
+// the task if the remaining budget still covers slice transmission plus
+// path compute. ok is false when the link eats the whole budget — the
+// task cannot be placed on this node at all.
+func (n Node) AdjustTask(t core.Task) (core.Task, bool) {
+	fwd := n.ForwardDelay(t.InputBits)
+	if fwd <= 0 {
+		return t, true
+	}
+	if fwd >= t.MaxLatency {
+		return core.Task{}, false
+	}
+	t.MaxLatency -= fwd
+	return t, true
+}

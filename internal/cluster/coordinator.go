@@ -1,0 +1,604 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"offloadnn/internal/core"
+	"offloadnn/internal/faultinject"
+	"offloadnn/internal/radio"
+	"offloadnn/internal/serve"
+	"offloadnn/internal/workload"
+)
+
+// Config parameterizes a cluster coordinator.
+type Config struct {
+	// Alpha weights admission against resource cost in every per-node
+	// solve (default 0.5).
+	Alpha float64
+	// Catalog builds candidate paths for tasks submitted over HTTP; it
+	// must match the members' catalogs so a 1-node cluster reproduces the
+	// standalone daemon exactly. Zero value: the Table-IV small catalog.
+	Catalog workload.CatalogParams
+	// Blocks optionally pre-seeds the shared block catalog.
+	Blocks map[string]core.BlockSpec
+	// Capacity is the B(σ) model per-node solves use (default the paper
+	// rate; members are started with the same).
+	Capacity radio.CapacityModel
+	// Debounce batches membership and task churn before a cluster-wide
+	// re-placement (default 100 ms) — the cluster-level counterpart of
+	// the serve resolver's debounce.
+	Debounce time.Duration
+	// HeartbeatTimeout is how long a member may go without a heartbeat
+	// before the failure detector declares it stale and re-places its
+	// tasks (default 3 s).
+	HeartbeatTimeout time.Duration
+	// SweepEvery is the failure detector's check period (default
+	// HeartbeatTimeout/4).
+	SweepEvery time.Duration
+	// BandwidthDriftFrac is the fractional change in a member's reported
+	// link rate that triggers a re-placement; smaller drift is recorded
+	// for the next placement without forcing one (default 0.2).
+	BandwidthDriftFrac float64
+	// PushTimeout bounds one plan push — including the member's
+	// synchronous re-solve (default 30 s).
+	PushTimeout time.Duration
+	// Now is the injectable clock (default time.Now).
+	Now func() time.Time
+	// Logf receives background diagnostics; nil discards them.
+	Logf func(string, ...any)
+	// Faults optionally arms the coordinator's fault-injection points.
+	Faults *faultinject.Injector
+	// Client performs plan pushes and offload proxying (default: a
+	// client with PushTimeout).
+	Client *http.Client
+}
+
+// routeEntry is one admitted task's serving location.
+type routeEntry struct {
+	NodeID string
+	Addr   string
+	Rate   float64 // admitted rate z·λ
+	Path   string
+	DNN    string
+}
+
+// routeTable is the immutable task→node map the proxy reads; re-placements
+// publish a fresh one atomically.
+type routeTable struct {
+	entries map[string]routeEntry
+}
+
+// memberState tracks one registered node. All fields except the atomic
+// counters are guarded by Coordinator.mu.
+type memberState struct {
+	node     Node
+	state    serve.HealthState
+	lastBeat time.Time
+	epoch    uint64
+	reported int  // task count from the last heartbeat
+	stale    bool // heartbeat timeout fired
+	failed   bool // a push or proxy to the node failed; cleared on contact
+	// Last placement outcome for this node.
+	placedTasks int
+	weighted    float64
+	admittedSum float64
+	proxied     atomic.Uint64
+	proxyErrs   atomic.Uint64
+}
+
+func (m *memberState) alive() bool { return !m.stale && !m.failed }
+
+// placeSummary is the immutable outcome of the latest re-placement.
+type placeSummary struct {
+	seq      uint64
+	gen      uint64
+	at       time.Time
+	weighted float64
+	unplaced []string
+	errors   []string
+	nodes    int
+}
+
+// Coordinator owns the cluster's task registry and places admitted work
+// across registered member nodes: every join, leave, failure, bandwidth
+// drift or task churn kicks a debounced cluster-wide re-placement whose
+// per-node plans are pushed to the members and whose routing table the
+// offload proxy serves from.
+type Coordinator struct {
+	cfg    Config
+	reg    *serve.Registry
+	client *http.Client
+	mux    *http.ServeMux
+	start  time.Time
+
+	mu      sync.Mutex
+	members map[string]*memberState
+
+	routes  atomic.Pointer[routeTable]
+	summary atomic.Pointer[placeSummary]
+
+	placeMu    sync.Mutex // serializes re-placements
+	placeSeq   atomic.Uint64
+	placeErrs  atomic.Uint64
+	placements atomic.Uint64
+
+	kick   chan struct{}
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// NewCoordinator validates the configuration and starts the placement
+// loop and the heartbeat failure detector.
+func NewCoordinator(cfg Config) (*Coordinator, error) {
+	if cfg.Alpha == 0 {
+		cfg.Alpha = 0.5
+	}
+	if cfg.Alpha < 0 || cfg.Alpha > 1 {
+		return nil, fmt.Errorf("cluster: alpha %v outside [0,1]", cfg.Alpha)
+	}
+	if cfg.Catalog.NumDNNs == 0 {
+		cfg.Catalog = workload.SmallCatalogParams()
+	}
+	if cfg.Capacity == nil {
+		cfg.Capacity = radio.PaperRate()
+	}
+	if cfg.Debounce <= 0 {
+		cfg.Debounce = 100 * time.Millisecond
+	}
+	if cfg.HeartbeatTimeout <= 0 {
+		cfg.HeartbeatTimeout = 3 * time.Second
+	}
+	if cfg.SweepEvery <= 0 {
+		cfg.SweepEvery = cfg.HeartbeatTimeout / 4
+	}
+	if cfg.BandwidthDriftFrac <= 0 {
+		cfg.BandwidthDriftFrac = 0.2
+	}
+	if cfg.PushTimeout <= 0 {
+		cfg.PushTimeout = 30 * time.Second
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: cfg.PushTimeout}
+	}
+	c := &Coordinator{
+		cfg:     cfg,
+		reg:     serve.NewRegistry(cfg.Catalog, cfg.Blocks),
+		client:  cfg.Client,
+		members: make(map[string]*memberState),
+		kick:    make(chan struct{}, 1),
+		start:   cfg.Now(),
+	}
+	c.routes.Store(&routeTable{entries: map[string]routeEntry{}})
+	c.summary.Store(&placeSummary{})
+	c.ctx, c.cancel = context.WithCancel(context.Background())
+	c.mux = c.routesMux()
+	c.wg.Add(2)
+	go c.placeLoop()
+	go c.sweepLoop()
+	return c, nil
+}
+
+// Close stops the placement loop and failure detector.
+func (c *Coordinator) Close() {
+	c.cancel()
+	c.wg.Wait()
+}
+
+// ServeHTTP serves the coordinator API.
+func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) { c.mux.ServeHTTP(w, r) }
+
+// Registry exposes the coordinator's task registry.
+func (c *Coordinator) Registry() *serve.Registry { return c.reg }
+
+// Kick schedules a debounced re-placement (non-blocking; kicks coalesce).
+func (c *Coordinator) Kick() {
+	select {
+	case c.kick <- struct{}{}:
+	default:
+	}
+}
+
+// placeLoop debounces kicks into re-placements, mirroring the serve
+// resolver's churn batching: the first kick starts the window, kicks
+// inside it coalesce, and the placement runs when it closes.
+func (c *Coordinator) placeLoop() {
+	defer c.wg.Done()
+	for {
+		select {
+		case <-c.ctx.Done():
+			return
+		case <-c.kick:
+		}
+		timer := time.NewTimer(c.cfg.Debounce)
+		select {
+		case <-c.ctx.Done():
+			timer.Stop()
+			return
+		case <-timer.C:
+		}
+		if err := c.placeOnce(c.ctx); err != nil && c.cfg.Logf != nil {
+			c.cfg.Logf("cluster: placement: %v", err)
+		}
+	}
+}
+
+// sweepLoop runs the heartbeat failure detector.
+func (c *Coordinator) sweepLoop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.cfg.SweepEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.ctx.Done():
+			return
+		case <-t.C:
+			c.Sweep()
+		}
+	}
+}
+
+// Sweep evaluates every member against the heartbeat timeout and kicks a
+// re-placement when any crossed into or out of staleness. Exported for
+// deterministic tests (with an injected clock the ticker never has to
+// fire).
+func (c *Coordinator) Sweep() {
+	now := c.cfg.Now()
+	changed := false
+	c.mu.Lock()
+	for id, m := range c.members {
+		stale := now.Sub(m.lastBeat) > c.cfg.HeartbeatTimeout
+		if stale != m.stale {
+			m.stale = stale
+			changed = true
+			if c.cfg.Logf != nil {
+				if stale {
+					c.cfg.Logf("cluster: node %s missed heartbeats for %v, marking stale", id, now.Sub(m.lastBeat))
+				} else {
+					c.cfg.Logf("cluster: node %s heartbeats resumed", id)
+				}
+			}
+		}
+	}
+	c.mu.Unlock()
+	if changed {
+		c.Kick()
+	}
+}
+
+// PlaceNow runs one re-placement synchronously, bypassing the debounce
+// (tests and the daemon's startup path).
+func (c *Coordinator) PlaceNow() error { return c.placeOnce(c.ctx) }
+
+// aliveNodes snapshots the placeable membership, sorted by node ID so
+// placements are deterministic.
+func (c *Coordinator) aliveNodes() []Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	nodes := make([]Node, 0, len(c.members))
+	for _, m := range c.members {
+		if m.alive() {
+			nodes = append(nodes, m.node)
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
+	return nodes
+}
+
+// placeOnce computes one cluster-wide placement over the alive members,
+// pushes every node's plan, and publishes the routing table. A failed
+// push marks the node failed and the placement is retried without it, so
+// one dead member cannot wedge the cluster.
+func (c *Coordinator) placeOnce(ctx context.Context) error {
+	c.placeMu.Lock()
+	defer c.placeMu.Unlock()
+	tasks, blocks, gen := c.reg.Snapshot()
+	for attempt := 0; ; attempt++ {
+		nodes := c.aliveNodes()
+		p := Place(ctx, tasks, blocks, nodes, c.cfg.Alpha)
+		failed := c.pushPlans(ctx, p)
+		if len(failed) == 0 {
+			c.publish(p, gen, len(nodes))
+			return nil
+		}
+		c.mu.Lock()
+		for _, id := range failed {
+			if m, ok := c.members[id]; ok {
+				m.failed = true
+			}
+		}
+		c.mu.Unlock()
+		c.placeErrs.Add(uint64(len(failed)))
+		if c.cfg.Logf != nil {
+			c.cfg.Logf("cluster: plan push failed for %v, re-placing without them", failed)
+		}
+		if attempt >= len(c.members)+1 {
+			return fmt.Errorf("cluster: placement aborted after %d push-failure retries", attempt)
+		}
+	}
+}
+
+// pushPlans sends every alive member its slice of the placement — an
+// empty slice clears a node that lost all its tasks — and returns the IDs
+// whose push failed.
+func (c *Coordinator) pushPlans(ctx context.Context, p *Placement) []string {
+	plans := make(map[string]*NodePlan, len(p.Plans))
+	for i := range p.Plans {
+		plans[p.Plans[i].Node.ID] = &p.Plans[i]
+	}
+	c.mu.Lock()
+	targets := make([]*memberState, 0, len(c.members))
+	for _, m := range c.members {
+		if m.alive() {
+			targets = append(targets, m)
+		}
+	}
+	c.mu.Unlock()
+
+	var mu sync.Mutex
+	var failed []string
+	var wg sync.WaitGroup
+	for _, m := range targets {
+		wg.Add(1)
+		go func(m *memberState) {
+			defer wg.Done()
+			if err := c.pushPlan(ctx, m, plans[m.node.ID], p.Norm); err != nil {
+				if c.cfg.Logf != nil {
+					c.cfg.Logf("cluster: push to %s (%s): %v", m.node.ID, m.node.Addr, err)
+				}
+				mu.Lock()
+				failed = append(failed, m.node.ID)
+				mu.Unlock()
+			}
+		}(m)
+	}
+	wg.Wait()
+	sort.Strings(failed)
+	return failed
+}
+
+// pushPlan PUTs one node's task subset to the member and waits for its
+// re-solve to acknowledge.
+func (c *Coordinator) pushPlan(ctx context.Context, m *memberState, plan *NodePlan, norm *core.Resources) error {
+	if err := c.cfg.Faults.Hit(ctx, PointPushError); err != nil {
+		return err
+	}
+	res := m.node.Res
+	res.Norm = norm
+	push := PlanPush{
+		Node:      m.node.ID,
+		Placement: c.placeSeq.Load() + 1,
+		Alpha:     c.cfg.Alpha,
+		Res:       ToWireResources(res),
+	}
+	if plan != nil {
+		for _, t := range plan.Tasks {
+			push.Tasks = append(push.Tasks, ToWireTask(t))
+		}
+		push.Blocks = ToWireBlocks(plan.Blocks)
+	}
+	body, err := json.Marshal(push)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(ctx, c.cfg.PushTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, m.node.Addr+"/v1/cluster/plan", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("cluster: member %s answered %d to plan push: %s", m.node.ID, resp.StatusCode, msg)
+	}
+	var ack PlanAck
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		return fmt.Errorf("cluster: member %s plan ack: %v", m.node.ID, err)
+	}
+	c.mu.Lock()
+	if cur, ok := c.members[m.node.ID]; ok {
+		cur.epoch = ack.Epoch
+		cur.reported = ack.Tasks
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// publish installs the placement's routing table and per-member stats.
+func (c *Coordinator) publish(p *Placement, gen uint64, nodes int) {
+	entries := make(map[string]routeEntry, len(p.Route))
+	byNode := make(map[string]*NodePlan, len(p.Plans))
+	for i := range p.Plans {
+		byNode[p.Plans[i].Node.ID] = &p.Plans[i]
+	}
+	for taskID, nodeID := range p.Route {
+		e := routeEntry{NodeID: nodeID}
+		if plan := byNode[nodeID]; plan != nil {
+			e.Addr = plan.Node.Addr
+			e.Rate = plan.Admitted[taskID]
+			if plan.Solution != nil {
+				for _, a := range plan.Solution.Assignments {
+					if a.TaskID == taskID && a.Path != nil {
+						e.Path = a.Path.ID
+						e.DNN = a.Path.DNN
+					}
+				}
+			}
+		}
+		entries[taskID] = e
+	}
+	seq := c.placeSeq.Add(1)
+	c.placements.Add(1)
+	c.routes.Store(&routeTable{entries: entries})
+	c.summary.Store(&placeSummary{
+		seq:      seq,
+		gen:      gen,
+		at:       c.cfg.Now(),
+		weighted: p.WeightedAdmission,
+		unplaced: p.Unplaced,
+		errors:   p.Errors,
+		nodes:    nodes,
+	})
+	c.mu.Lock()
+	for _, m := range c.members {
+		m.placedTasks, m.weighted, m.admittedSum = 0, 0, 0
+		if plan := byNode[m.node.ID]; plan != nil {
+			m.placedTasks = len(plan.Tasks)
+			if plan.Solution != nil {
+				m.weighted = plan.Solution.Breakdown.WeightedAdmission
+			}
+			for _, rate := range plan.Admitted {
+				m.admittedSum += rate
+			}
+		}
+	}
+	c.mu.Unlock()
+	if c.cfg.Logf != nil {
+		c.cfg.Logf("cluster: placement %d over %d nodes: %d routed, %d unplaced, weighted admission %.3f",
+			seq, nodes, len(entries), len(p.Unplaced), p.WeightedAdmission)
+	}
+}
+
+// register adds or refreshes a member; re-registration updates its
+// address, budgets and link rate and clears failure marks.
+func (c *Coordinator) register(req RegisterRequest) error {
+	if req.Node == "" || req.Addr == "" {
+		return fmt.Errorf("cluster: registration needs node and addr")
+	}
+	res := core.Resources{
+		RBs:                req.Res.RBs,
+		ComputeSeconds:     req.Res.ComputeSeconds,
+		MemoryGB:           req.Res.MemoryGB,
+		TrainBudgetSeconds: req.Res.TrainBudgetSeconds,
+		Capacity:           c.cfg.Capacity,
+	}
+	if res.RBs <= 0 || res.ComputeSeconds <= 0 || res.TrainBudgetSeconds <= 0 {
+		return fmt.Errorf("cluster: node %s registered unusable budgets %+v", req.Node, req.Res)
+	}
+	now := c.cfg.Now()
+	c.mu.Lock()
+	m, ok := c.members[req.Node]
+	if !ok {
+		m = &memberState{}
+		c.members[req.Node] = m
+	}
+	m.node = Node{ID: req.Node, Addr: req.Addr, Res: res, BandwidthMbps: req.BandwidthMbps}
+	m.state = parseHealthState(req.State)
+	m.lastBeat = now
+	m.epoch = req.Epoch
+	m.stale = false
+	m.failed = false
+	c.mu.Unlock()
+	if c.cfg.Logf != nil {
+		c.cfg.Logf("cluster: node %s registered at %s (R=%d, C=%gs, M=%g GB, link=%g Mb/s)",
+			req.Node, req.Addr, res.RBs, res.ComputeSeconds, res.MemoryGB, req.BandwidthMbps)
+	}
+	c.Kick()
+	return nil
+}
+
+// heartbeat records a member's beat, reviving stale/failed nodes and
+// kicking a re-placement on revival or bandwidth drift.
+func (c *Coordinator) heartbeat(id string, req HeartbeatRequest) (ok bool) {
+	now := c.cfg.Now()
+	kick := false
+	c.mu.Lock()
+	m, found := c.members[id]
+	if found {
+		m.lastBeat = now
+		m.state = parseHealthState(req.State)
+		m.epoch = req.Epoch
+		m.reported = req.Tasks
+		if m.stale || m.failed {
+			m.stale, m.failed = false, false
+			kick = true
+		}
+		if req.BandwidthMbps > 0 {
+			old := m.node.BandwidthMbps
+			m.node.BandwidthMbps = req.BandwidthMbps
+			if old <= 0 || absFrac(req.BandwidthMbps, old) > c.cfg.BandwidthDriftFrac {
+				kick = true
+				if c.cfg.Logf != nil {
+					c.cfg.Logf("cluster: node %s link rate drifted %g → %g Mb/s, re-placing", id, old, req.BandwidthMbps)
+				}
+			}
+		}
+	}
+	c.mu.Unlock()
+	if kick {
+		c.Kick()
+	}
+	return found
+}
+
+// leave removes a member and re-places its tasks.
+func (c *Coordinator) leave(id string) bool {
+	c.mu.Lock()
+	_, ok := c.members[id]
+	delete(c.members, id)
+	c.mu.Unlock()
+	if ok {
+		if c.cfg.Logf != nil {
+			c.cfg.Logf("cluster: node %s left", id)
+		}
+		c.Kick()
+	}
+	return ok
+}
+
+// markFailed flags a node after a proxy transport failure and kicks a
+// re-placement without it; the node rejoins on its next heartbeat.
+func (c *Coordinator) markFailed(id string) {
+	c.mu.Lock()
+	m, ok := c.members[id]
+	if ok && !m.failed {
+		m.failed = true
+	} else {
+		ok = false
+	}
+	c.mu.Unlock()
+	if ok {
+		if c.cfg.Logf != nil {
+			c.cfg.Logf("cluster: node %s unreachable, re-placing without it", id)
+		}
+		c.Kick()
+	}
+}
+
+// parseHealthState maps the wire health string onto serve's states.
+func parseHealthState(s string) serve.HealthState {
+	switch s {
+	case "degraded":
+		return serve.Degraded
+	case "draining":
+		return serve.Draining
+	}
+	return serve.Healthy
+}
+
+// absFrac is |a−b| / b.
+func absFrac(a, b float64) float64 {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d / b
+}

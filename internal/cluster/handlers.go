@@ -1,0 +1,451 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"offloadnn/internal/serve"
+)
+
+// CodeNodeUnreachable is the coordinator-specific error code for an
+// offload whose owning node could not be reached; the task is re-placed
+// and the client retries. The other codes mirror the serve envelope.
+const CodeNodeUnreachable = "node_unreachable"
+
+// errorBody mirrors serve's unified error envelope
+// {"error":{"code":...,"message":...}} so cluster clients parse one
+// shape against either daemon.
+type errorBody struct {
+	Error errorDetail `json:"error"`
+}
+
+type errorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: errorDetail{Code: code, Message: fmt.Sprintf(format, args...)}})
+}
+
+func retryAfter(d time.Duration) string {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+func (c *Coordinator) routesMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/tasks", c.handleRegisterTask)
+	mux.HandleFunc("GET /v1/tasks", c.handleListTasks)
+	mux.HandleFunc("DELETE /v1/tasks/{id}", c.handleDeregisterTask)
+	mux.HandleFunc("POST /v1/offload", c.handleOffload)
+	mux.HandleFunc("POST /v1/cluster/nodes", c.handleNodeRegister)
+	mux.HandleFunc("GET /v1/cluster/nodes", c.handleNodeList)
+	mux.HandleFunc("POST /v1/cluster/nodes/{id}/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("DELETE /v1/cluster/nodes/{id}", c.handleNodeLeave)
+	mux.HandleFunc("POST /v1/cluster/bwprobe", c.handleBandwidthProbe)
+	mux.HandleFunc("GET /healthz", c.handleHealth)
+	mux.HandleFunc("GET /metrics", c.handleMetrics)
+	return mux
+}
+
+// handleRegisterTask mirrors edgeserve's POST /v1/tasks: the coordinator
+// owns the cluster-wide registry and the next placement assigns the task
+// a node.
+func (c *Coordinator) handleRegisterTask(w http.ResponseWriter, r *http.Request) {
+	var spec serve.TaskSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, serve.CodeInvalidRequest, "invalid task spec: %v", err)
+		return
+	}
+	if err := c.reg.Register(spec.Task(), nil); err != nil {
+		if errors.Is(err, serve.ErrExists) {
+			writeError(w, http.StatusConflict, serve.CodeTaskExists, "%v", err)
+			return
+		}
+		writeError(w, http.StatusBadRequest, serve.CodeInvalidRequest, "%v", err)
+		return
+	}
+	c.Kick()
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"id":         spec.ID,
+		"status":     "pending",
+		"generation": c.reg.Generation(),
+	})
+}
+
+func (c *Coordinator) handleDeregisterTask(w http.ResponseWriter, r *http.Request) {
+	if err := c.reg.Deregister(r.PathValue("id")); err != nil {
+		writeError(w, http.StatusNotFound, serve.CodeUnknownTask, "%v", err)
+		return
+	}
+	c.Kick()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// clusterTaskStatus is one entry of the coordinator's GET /v1/tasks: the
+// serve TaskStatus fields plus the owning node.
+type clusterTaskStatus struct {
+	ID           string  `json:"id"`
+	Priority     float64 `json:"priority"`
+	Rate         float64 `json:"rate"`
+	Admitted     bool    `json:"admitted"`
+	AdmittedRate float64 `json:"admitted_rate"`
+	Node         string  `json:"node,omitempty"`
+	Path         string  `json:"path,omitempty"`
+	DNN          string  `json:"dnn,omitempty"`
+}
+
+func (c *Coordinator) handleListTasks(w http.ResponseWriter, r *http.Request) {
+	tasks, _, _ := c.reg.Snapshot()
+	rt := c.routes.Load()
+	out := make([]clusterTaskStatus, 0, len(tasks))
+	for _, t := range tasks {
+		st := clusterTaskStatus{ID: t.ID, Priority: t.Priority, Rate: t.Rate}
+		if e, ok := rt.entries[t.ID]; ok {
+			st.Admitted = true
+			st.AdmittedRate = e.Rate
+			st.Node = e.NodeID
+			st.Path = e.Path
+			st.DNN = e.DNN
+		}
+		out = append(out, st)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleOffload proxies the request to the node the routing table maps
+// its task to, streaming the member's verdict — admission parameters,
+// logits, 429s — back unchanged.
+func (c *Coordinator) handleOffload(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, serve.CodeInvalidRequest, "reading offload request: %v", err)
+		return
+	}
+	var req struct {
+		Task string `json:"task"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, serve.CodeInvalidRequest, "invalid offload request: %v", err)
+		return
+	}
+	entry, ok := c.routes.Load().entries[req.Task]
+	if !ok {
+		if c.reg.Has(req.Task) {
+			// Registered but unrouted: no node admits it under the current
+			// placement (or the re-placement is still pending).
+			w.Header().Set("Retry-After", retryAfter(c.cfg.Debounce))
+			writeError(w, http.StatusTooManyRequests, serve.CodeNotAdmitted,
+				"task %q not admitted by current placement", req.Task)
+			return
+		}
+		writeError(w, http.StatusNotFound, serve.CodeUnknownTask, "task %q not registered", req.Task)
+		return
+	}
+	c.mu.Lock()
+	m := c.members[entry.NodeID]
+	c.mu.Unlock()
+	if err := c.cfg.Faults.Hit(r.Context(), PointProxyError); err != nil {
+		if m != nil {
+			m.proxyErrs.Add(1)
+		}
+		writeError(w, http.StatusBadGateway, CodeNodeUnreachable, "node %s: %v", entry.NodeID, err)
+		return
+	}
+	preq, err := http.NewRequestWithContext(r.Context(), http.MethodPost, entry.Addr+"/v1/offload", bytes.NewReader(body))
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, CodeNodeUnreachable, "%v", err)
+		return
+	}
+	preq.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(preq)
+	if err != nil {
+		if m != nil {
+			m.proxyErrs.Add(1)
+		}
+		// Transport failure: the node is gone or wedged. Fail the node so
+		// the debounced re-placement moves its tasks to survivors; the
+		// client retries and lands on the new route.
+		c.markFailed(entry.NodeID)
+		w.Header().Set("Retry-After", retryAfter(c.cfg.Debounce))
+		writeError(w, http.StatusBadGateway, CodeNodeUnreachable, "node %s: %v", entry.NodeID, err)
+		return
+	}
+	defer resp.Body.Close()
+	if m != nil {
+		m.proxied.Add(1)
+	}
+	for _, h := range []string{"Content-Type", "Retry-After"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+// memberInfo is one entry of GET /v1/cluster/nodes.
+type memberInfo struct {
+	Node          string        `json:"node"`
+	Addr          string        `json:"addr"`
+	State         string        `json:"state"`
+	Res           WireResources `json:"res"`
+	BandwidthMbps float64       `json:"bandwidth_mbps,omitempty"`
+	Epoch         uint64        `json:"epoch"`
+	PlacedTasks   int           `json:"placed_tasks"`
+	Stale         bool          `json:"stale,omitempty"`
+	Failed        bool          `json:"failed,omitempty"`
+}
+
+func (c *Coordinator) handleNodeList(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	out := make([]memberInfo, 0, len(c.members))
+	for id, m := range c.members {
+		out = append(out, memberInfo{
+			Node:          id,
+			Addr:          m.node.Addr,
+			State:         m.state.String(),
+			Res:           ToWireResources(m.node.Res),
+			BandwidthMbps: m.node.BandwidthMbps,
+			Epoch:         m.epoch,
+			PlacedTasks:   m.placedTasks,
+			Stale:         m.stale,
+			Failed:        m.failed,
+		})
+	}
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (c *Coordinator) handleNodeRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, serve.CodeInvalidRequest, "invalid registration: %v", err)
+		return
+	}
+	if err := c.register(req); err != nil {
+		writeError(w, http.StatusBadRequest, serve.CodeInvalidRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"node":              req.Node,
+		"heartbeat_timeout": c.cfg.HeartbeatTimeout.Seconds(),
+	})
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var req HeartbeatRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, serve.CodeInvalidRequest, "invalid heartbeat: %v", err)
+		return
+	}
+	// A dropped beat answers 204 like a recorded one: the member cannot
+	// tell, and the failure detector sees only silence (chaos tests).
+	if err := c.cfg.Faults.Hit(r.Context(), PointHeartbeatDrop); err != nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	if !c.heartbeat(id, req) {
+		writeError(w, http.StatusNotFound, serve.CodeUnknownTask, "node %q not registered", id)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (c *Coordinator) handleNodeLeave(w http.ResponseWriter, r *http.Request) {
+	if !c.leave(r.PathValue("id")) {
+		writeError(w, http.StatusNotFound, serve.CodeUnknownTask, "node %q not registered", r.PathValue("id"))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleBandwidthProbe sinks a member's bandwidth probe: the member
+// streams a payload and measures the wall-clock transfer rate (the
+// coordinator↔node link is assumed symmetric).
+func (c *Coordinator) handleBandwidthProbe(w http.ResponseWriter, r *http.Request) {
+	n, err := io.Copy(io.Discard, http.MaxBytesReader(w, r.Body, 64<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, serve.CodeInvalidRequest, "probe: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"bytes": n})
+}
+
+// nodeHealth is one member's entry in the aggregate /healthz payload.
+type nodeHealth struct {
+	State         string  `json:"state"`
+	Addr          string  `json:"addr"`
+	Epoch         uint64  `json:"epoch"`
+	Tasks         int     `json:"tasks"`
+	BandwidthMbps float64 `json:"bandwidth_mbps,omitempty"`
+	HeartbeatAgeS float64 `json:"heartbeat_age_seconds"`
+	Stale         bool    `json:"stale,omitempty"`
+	Failed        bool    `json:"failed,omitempty"`
+}
+
+// handleHealth aggregates member health: the cluster is degraded — never
+// silently healthy — when any member is degraded, stale, failed or
+// draining, and the failing nodes are named in the payload.
+func (c *Coordinator) handleHealth(w http.ResponseWriter, r *http.Request) {
+	now := c.cfg.Now()
+	nodes := make(map[string]nodeHealth)
+	var failing []string
+	c.mu.Lock()
+	for id, m := range c.members {
+		nh := nodeHealth{
+			State:         m.state.String(),
+			Addr:          m.node.Addr,
+			Epoch:         m.epoch,
+			Tasks:         m.placedTasks,
+			BandwidthMbps: m.node.BandwidthMbps,
+			HeartbeatAgeS: now.Sub(m.lastBeat).Seconds(),
+			Stale:         m.stale,
+			Failed:        m.failed,
+		}
+		if m.stale || m.failed || m.state != serve.Healthy {
+			failing = append(failing, id)
+		}
+		nodes[id] = nh
+	}
+	c.mu.Unlock()
+	sort.Strings(failing)
+	status := "healthy"
+	if len(failing) > 0 || len(nodes) == 0 {
+		status = "degraded"
+	}
+	sum := c.summary.Load()
+	body := map[string]any{
+		"status":           status,
+		"nodes":            nodes,
+		"tasks_registered": c.reg.Len(),
+		"generation":       c.reg.Generation(),
+		"placement": map[string]any{
+			"seq":                sum.seq,
+			"generation":         sum.gen,
+			"nodes":              sum.nodes,
+			"weighted_admission": sum.weighted,
+			"unplaced":           len(sum.unplaced),
+			"age_seconds":        now.Sub(sum.at).Seconds(),
+		},
+		"uptime_seconds": now.Sub(c.start).Seconds(),
+	}
+	if len(failing) > 0 {
+		body["failing"] = failing
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// handleMetrics exposes cluster-level families plus per-node families
+// labelled {node="..."} in the same text exposition format (with HELP and
+// TYPE metadata) as the members' own /metrics.
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	now := c.cfg.Now()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	family := func(name, typ, help string) {
+		fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+		fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+	}
+	sum := c.summary.Load()
+	family("offloadnn_cluster_uptime_seconds", "gauge", "Seconds since the coordinator started.")
+	fmt.Fprintf(w, "offloadnn_cluster_uptime_seconds %g\n", now.Sub(c.start).Seconds())
+	family("offloadnn_cluster_nodes", "gauge", "Members currently registered.")
+	c.mu.Lock()
+	nNodes := len(c.members)
+	type nodeRow struct {
+		id    string
+		m     *memberState
+		beat  float64
+		state serve.HealthState
+	}
+	rows := make([]nodeRow, 0, nNodes)
+	for id, m := range c.members {
+		rows = append(rows, nodeRow{id: id, m: m, beat: now.Sub(m.lastBeat).Seconds(), state: m.state})
+	}
+	c.mu.Unlock()
+	sort.Slice(rows, func(i, j int) bool { return rows[i].id < rows[j].id })
+	fmt.Fprintf(w, "offloadnn_cluster_nodes %d\n", nNodes)
+	family("offloadnn_cluster_tasks_registered", "gauge", "Tasks currently registered with the coordinator.")
+	fmt.Fprintf(w, "offloadnn_cluster_tasks_registered %d\n", c.reg.Len())
+	family("offloadnn_cluster_tasks_unplaced", "gauge", "Registered tasks no node admits under the current placement.")
+	fmt.Fprintf(w, "offloadnn_cluster_tasks_unplaced %d\n", len(sum.unplaced))
+	family("offloadnn_cluster_placements_total", "counter", "Cluster-wide re-placements published.")
+	fmt.Fprintf(w, "offloadnn_cluster_placements_total %d\n", c.placements.Load())
+	family("offloadnn_cluster_placement_errors_total", "counter", "Plan pushes that failed and caused a retry without the node.")
+	fmt.Fprintf(w, "offloadnn_cluster_placement_errors_total %d\n", c.placeErrs.Load())
+	family("offloadnn_cluster_placement_seq", "counter", "Sequence number of the active placement.")
+	fmt.Fprintf(w, "offloadnn_cluster_placement_seq %d\n", sum.seq)
+	family("offloadnn_cluster_placement_age_seconds", "gauge", "Age of the active placement.")
+	fmt.Fprintf(w, "offloadnn_cluster_placement_age_seconds %g\n", now.Sub(sum.at).Seconds())
+	family("offloadnn_cluster_weighted_admission", "gauge", "Cluster-wide admitted weighted priority Σ z·p.")
+	fmt.Fprintf(w, "offloadnn_cluster_weighted_admission %g\n", sum.weighted)
+
+	family("offloadnn_node_up", "gauge", "Member liveness: 1 when the node is neither stale nor failed.")
+	for _, row := range rows {
+		up := 0
+		if row.m.alive() {
+			up = 1
+		}
+		fmt.Fprintf(w, "offloadnn_node_up{node=%q} %d\n", row.id, up)
+	}
+	family("offloadnn_node_health_state", "gauge", "Member-reported serving condition: 0 healthy, 1 degraded, 2 draining.")
+	for _, row := range rows {
+		fmt.Fprintf(w, "offloadnn_node_health_state{node=%q} %d\n", row.id, int(row.state))
+	}
+	family("offloadnn_node_heartbeat_age_seconds", "gauge", "Seconds since the member's last heartbeat.")
+	for _, row := range rows {
+		fmt.Fprintf(w, "offloadnn_node_heartbeat_age_seconds{node=%q} %g\n", row.id, row.beat)
+	}
+	family("offloadnn_node_bandwidth_mbps", "gauge", "Measured coordinator-node link rate; 0 when unmeasured.")
+	for _, row := range rows {
+		fmt.Fprintf(w, "offloadnn_node_bandwidth_mbps{node=%q} %g\n", row.id, row.m.node.BandwidthMbps)
+	}
+	family("offloadnn_node_epoch", "counter", "Member's active deployment epoch as of its last contact.")
+	for _, row := range rows {
+		fmt.Fprintf(w, "offloadnn_node_epoch{node=%q} %d\n", row.id, row.m.epoch)
+	}
+	family("offloadnn_node_tasks", "gauge", "Tasks the current placement assigns to the node.")
+	for _, row := range rows {
+		fmt.Fprintf(w, "offloadnn_node_tasks{node=%q} %d\n", row.id, row.m.placedTasks)
+	}
+	family("offloadnn_node_admitted_rate", "gauge", "Sum of admitted frame rates z*lambda on the node, frames/s.")
+	for _, row := range rows {
+		fmt.Fprintf(w, "offloadnn_node_admitted_rate{node=%q} %g\n", row.id, row.m.admittedSum)
+	}
+	family("offloadnn_node_weighted_admission", "gauge", "Admitted weighted priority on the node.")
+	for _, row := range rows {
+		fmt.Fprintf(w, "offloadnn_node_weighted_admission{node=%q} %g\n", row.id, row.m.weighted)
+	}
+	family("offloadnn_node_proxied_total", "counter", "Offload requests proxied to the node.")
+	for _, row := range rows {
+		fmt.Fprintf(w, "offloadnn_node_proxied_total{node=%q} %d\n", row.id, row.m.proxied.Load())
+	}
+	family("offloadnn_node_proxy_errors_total", "counter", "Proxied offloads that failed in transport to the node.")
+	for _, row := range rows {
+		fmt.Fprintf(w, "offloadnn_node_proxy_errors_total{node=%q} %d\n", row.id, row.m.proxyErrs.Load())
+	}
+}

@@ -1,0 +1,302 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"offloadnn/internal/core"
+	"offloadnn/internal/serve"
+)
+
+// MemberHandler wraps an edgeserve server with the cluster-member
+// endpoints: the full standalone API stays served (a member is a normal
+// edgeserve daemon), plus
+//
+//	PUT /v1/cluster/plan   install the coordinator's task subset
+//	GET /v1/cluster/info   node identity, budgets and epoch state
+func MemberHandler(srv *serve.Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", srv)
+	mux.HandleFunc("PUT /v1/cluster/plan", func(w http.ResponseWriter, r *http.Request) {
+		handlePlanPush(srv, w, r)
+	})
+	mux.HandleFunc("GET /v1/cluster/info", func(w http.ResponseWriter, r *http.Request) {
+		h := srv.Health()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"node":  srv.Node(),
+			"state": h.State.String(),
+			"epoch": h.Epoch,
+			"tasks": srv.Registry().Len(),
+			"res":   ToWireResources(srv.Resources()),
+			"alpha": srv.Alpha(),
+		})
+	})
+	return mux
+}
+
+// handlePlanPush installs one placement slice: the pushed tasks arrive
+// fully built (paths and blocks included), the member re-solves them
+// against its own budgets — priced at the pushed fleet-wide norm, so its
+// epoch reaches the coordinator's per-node solution — and installs the
+// result through its execution backend.
+func handlePlanPush(srv *serve.Server, w http.ResponseWriter, r *http.Request) {
+	var push PlanPush
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	if err := dec.Decode(&push); err != nil {
+		writeError(w, http.StatusBadRequest, serve.CodeInvalidRequest, "invalid plan push: %v", err)
+		return
+	}
+	if push.Node != "" && srv.Node() != "" && push.Node != srv.Node() {
+		writeError(w, http.StatusBadRequest, serve.CodeInvalidRequest,
+			"plan for node %q pushed to node %q", push.Node, srv.Node())
+		return
+	}
+	if err := push.Res.Matches(srv.Resources()); err != nil {
+		writeError(w, http.StatusConflict, serve.CodeInvalidRequest, "%v", err)
+		return
+	}
+	tasks := make([]core.Task, 0, len(push.Tasks))
+	for _, wt := range push.Tasks {
+		tasks = append(tasks, wt.Task())
+	}
+	changed, err := srv.ReplaceTasks(tasks, FromWireBlocks(push.Blocks), push.Res.NormResources())
+	if err != nil {
+		if errors.Is(err, serve.ErrDraining) {
+			writeError(w, http.StatusServiceUnavailable, serve.CodeDraining, "%v", err)
+			return
+		}
+		writeError(w, http.StatusBadRequest, serve.CodeInvalidRequest, "%v", err)
+		return
+	}
+	var epoch uint64
+	if ep := srv.Current(); ep != nil {
+		epoch = ep.N
+	}
+	writeJSON(w, http.StatusOK, PlanAck{
+		Node:    srv.Node(),
+		Epoch:   epoch,
+		Tasks:   len(tasks),
+		Changed: changed,
+	})
+}
+
+// AgentConfig parameterizes a member's membership agent.
+type AgentConfig struct {
+	// Coordinator is the coordinator's base URL.
+	Coordinator string
+	// NodeID names this member (must match the server's Config.Node).
+	NodeID string
+	// Advertise is the base URL the coordinator reaches this member's
+	// API on.
+	Advertise string
+	// Heartbeat is the beat period (default 1 s).
+	Heartbeat time.Duration
+	// BandwidthMbps fixes the link rate reported to the coordinator;
+	// zero or negative measures it with a probe transfer at registration.
+	BandwidthMbps float64
+	// ProbeBytes sizes the bandwidth probe (default 1 MiB).
+	ProbeBytes int
+	// Client performs the membership calls (default: 10 s timeout).
+	Client *http.Client
+	// Logf receives agent diagnostics; nil discards them.
+	Logf func(string, ...any)
+}
+
+// Agent is a member's side of the membership protocol: it registers the
+// node with the coordinator, reports health/epoch/bandwidth with every
+// heartbeat, re-registers when the coordinator forgot it (coordinator
+// restart, heartbeat-timeout eviction), and deregisters on Close.
+type Agent struct {
+	cfg    AgentConfig
+	srv    *serve.Server
+	client *http.Client
+	mbps   float64
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// StartAgent launches the membership loop for the given member server.
+func StartAgent(srv *serve.Server, cfg AgentConfig) (*Agent, error) {
+	if cfg.Coordinator == "" || cfg.NodeID == "" || cfg.Advertise == "" {
+		return nil, fmt.Errorf("cluster: agent needs coordinator, node ID and advertise address")
+	}
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = time.Second
+	}
+	if cfg.ProbeBytes <= 0 {
+		cfg.ProbeBytes = 1 << 20
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 10 * time.Second}
+	}
+	a := &Agent{cfg: cfg, srv: srv, client: cfg.Client, mbps: cfg.BandwidthMbps}
+	a.ctx, a.cancel = context.WithCancel(context.Background())
+	a.wg.Add(1)
+	go a.loop()
+	return a, nil
+}
+
+// Close deregisters from the coordinator (best effort) and stops the
+// agent.
+func (a *Agent) Close() {
+	a.cancel()
+	a.wg.Wait()
+	req, err := http.NewRequest(http.MethodDelete, a.cfg.Coordinator+"/v1/cluster/nodes/"+a.cfg.NodeID, nil)
+	if err != nil {
+		return
+	}
+	if resp, err := a.client.Do(req); err == nil {
+		resp.Body.Close()
+	}
+}
+
+// loop registers (retrying until it lands) and then heartbeats.
+func (a *Agent) loop() {
+	defer a.wg.Done()
+	backoff := a.cfg.Heartbeat
+	for {
+		if err := a.register(); err == nil {
+			break
+		} else if a.cfg.Logf != nil {
+			a.cfg.Logf("cluster: agent %s: register: %v", a.cfg.NodeID, err)
+		}
+		select {
+		case <-a.ctx.Done():
+			return
+		case <-time.After(backoff):
+		}
+		if backoff < 10*time.Second {
+			backoff *= 2
+		}
+	}
+	t := time.NewTicker(a.cfg.Heartbeat)
+	defer t.Stop()
+	for {
+		select {
+		case <-a.ctx.Done():
+			return
+		case <-t.C:
+		}
+		if err := a.beat(); err != nil {
+			if a.cfg.Logf != nil {
+				a.cfg.Logf("cluster: agent %s: heartbeat: %v", a.cfg.NodeID, err)
+			}
+		}
+	}
+}
+
+// register measures the link (unless a rate was configured) and announces
+// the node.
+func (a *Agent) register() error {
+	if a.mbps <= 0 {
+		if mbps, err := a.probeBandwidth(); err == nil {
+			a.mbps = mbps
+			if a.cfg.Logf != nil {
+				a.cfg.Logf("cluster: agent %s: measured link %.1f Mb/s", a.cfg.NodeID, mbps)
+			}
+		} else if a.cfg.Logf != nil {
+			a.cfg.Logf("cluster: agent %s: bandwidth probe: %v (link left unmeasured)", a.cfg.NodeID, err)
+		}
+	}
+	h := a.srv.Health()
+	body, err := json.Marshal(RegisterRequest{
+		Node:          a.cfg.NodeID,
+		Addr:          a.cfg.Advertise,
+		Res:           ToWireResources(a.srv.Resources()),
+		BandwidthMbps: a.mbps,
+		State:         h.State.String(),
+		Epoch:         h.Epoch,
+	})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(a.ctx, http.MethodPost, a.cfg.Coordinator+"/v1/cluster/nodes", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := a.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("coordinator answered %d: %s", resp.StatusCode, msg)
+	}
+	return nil
+}
+
+// beat posts one heartbeat; a 404 means the coordinator no longer knows
+// the node (restart or eviction) and triggers re-registration.
+func (a *Agent) beat() error {
+	h := a.srv.Health()
+	body, err := json.Marshal(HeartbeatRequest{
+		State:         h.State.String(),
+		Epoch:         h.Epoch,
+		Tasks:         a.srv.Registry().Len(),
+		BandwidthMbps: a.mbps,
+	})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(a.ctx, http.MethodPost,
+		a.cfg.Coordinator+"/v1/cluster/nodes/"+a.cfg.NodeID+"/heartbeat", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := a.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusNoContent:
+		return nil
+	case http.StatusNotFound:
+		if a.cfg.Logf != nil {
+			a.cfg.Logf("cluster: agent %s: coordinator forgot us, re-registering", a.cfg.NodeID)
+		}
+		return a.register()
+	default:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("coordinator answered %d: %s", resp.StatusCode, msg)
+	}
+}
+
+// probeBandwidth measures the node↔coordinator link by streaming
+// ProbeBytes to the coordinator's probe sink and timing the transfer.
+func (a *Agent) probeBandwidth() (float64, error) {
+	payload := make([]byte, a.cfg.ProbeBytes)
+	start := time.Now()
+	req, err := http.NewRequestWithContext(a.ctx, http.MethodPost,
+		a.cfg.Coordinator+"/v1/cluster/bwprobe", bytes.NewReader(payload))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := a.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("probe sink answered %d", resp.StatusCode)
+	}
+	elapsed := time.Since(start).Seconds()
+	if elapsed <= 0 {
+		return 0, fmt.Errorf("probe transfer too fast to time")
+	}
+	return float64(a.cfg.ProbeBytes) * 8 / elapsed / 1e6, nil
+}

@@ -1,0 +1,189 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"offloadnn/internal/core"
+	"offloadnn/internal/edge"
+	"offloadnn/internal/workload"
+)
+
+// singleSolve runs the single-server OffloaDNN heuristic on the scenario.
+func singleSolve(t *testing.T, in *core.Instance) *core.Solution {
+	t.Helper()
+	sol, err := core.SolveOffloaDNN(in)
+	if err != nil {
+		t.Fatalf("single-server solve: %v", err)
+	}
+	return sol
+}
+
+func clusterNodes(res []core.Resources) []Node {
+	nodes := make([]Node, len(res))
+	for i, r := range res {
+		nodes[i] = Node{ID: string(rune('a' + i)), Res: r}
+	}
+	return nodes
+}
+
+// TestPlaceOneNodeMatchesSingleServer: a 1-node cluster with the full
+// budget must reproduce the single-server solution exactly — same
+// admitted set, paths and admission ratios.
+func TestPlaceOneNodeMatchesSingleServer(t *testing.T) {
+	in, err := workload.LargeScenario(workload.LoadMedium)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := singleSolve(t, in)
+	p := Place(context.Background(), in.Tasks, in.Blocks, []Node{{ID: "solo", Res: in.Res}}, in.Alpha)
+	if len(p.Errors) != 0 {
+		t.Fatalf("placement errors: %v", p.Errors)
+	}
+	got := p.Plans[0].Solution
+	if got == nil {
+		t.Fatal("no solution on the only node")
+	}
+	// A task the solver rejects outright (z=0) stays out of the cluster
+	// session — the coordinator answers not_admitted for unrouted tasks —
+	// so the comparison is over admitted assignments.
+	wantBy := make(map[string]core.Assignment)
+	for _, a := range want.Assignments {
+		if a.Admitted() {
+			wantBy[a.TaskID] = a
+		}
+	}
+	gotAdmitted := 0
+	for _, a := range got.Assignments {
+		if !a.Admitted() {
+			continue
+		}
+		gotAdmitted++
+		w, ok := wantBy[a.TaskID]
+		if !ok {
+			t.Errorf("task %s admitted by the cluster, rejected standalone", a.TaskID)
+			continue
+		}
+		if a.Path.ID != w.Path.ID {
+			t.Errorf("task %s: path %s want %s", a.TaskID, a.Path.ID, w.Path.ID)
+		}
+		if diff := a.Z - w.Z; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("task %s: z %v want %v", a.TaskID, a.Z, w.Z)
+		}
+		if a.RBs != w.RBs {
+			t.Errorf("task %s: rbs %d want %d", a.TaskID, a.RBs, w.RBs)
+		}
+	}
+	if gotAdmitted != len(wantBy) {
+		t.Errorf("admitted count: got %d want %d", gotAdmitted, len(wantBy))
+	}
+	if diff := p.WeightedAdmission - want.Breakdown.WeightedAdmission; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("weighted admission %v want %v", p.WeightedAdmission, want.Breakdown.WeightedAdmission)
+	}
+}
+
+// TestPlaceTwoHalfNodesAdmitNoLess is the PR's acceptance criterion: a
+// 2-node cluster whose nodes each get half the single server's M/C/R
+// budgets must admit at least as much total weighted priority as the one
+// full-budget server on the 20-task scenario.
+func TestPlaceTwoHalfNodesAdmitNoLess(t *testing.T) {
+	for _, load := range []workload.Load{workload.LoadLow, workload.LoadMedium, workload.LoadHigh} {
+		in, shares, err := workload.ClusterScenario(load, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		single := singleSolve(t, in).Breakdown.WeightedAdmission
+		nodes := clusterNodes(shares)
+		p := Place(context.Background(), in.Tasks, in.Blocks, nodes, in.Alpha)
+		if len(p.Errors) != 0 {
+			t.Fatalf("load %v: placement errors: %v", load, p.Errors)
+		}
+		if p.WeightedAdmission < single-1e-9 {
+			t.Errorf("load %v: 2x half-budget cluster admits %.4f weighted priority, single full-budget server %.4f",
+				load, p.WeightedAdmission, single)
+		}
+		t.Logf("load %v: cluster=%.4f single=%.4f unplaced=%d", load, p.WeightedAdmission, single, len(p.Unplaced))
+	}
+}
+
+// TestPlaceSpillsAcrossNodes checks the bin-packing shape: with per-node
+// budgets sized so one node cannot hold everything, tasks spill onto the
+// second node instead of being rejected.
+func TestPlaceSpillsAcrossNodes(t *testing.T) {
+	in, err := workload.LargeScenario(workload.LoadHigh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := clusterNodes(edge.PartitionResources(in.Res, 2))
+	p := Place(context.Background(), in.Tasks, in.Blocks, nodes, in.Alpha)
+	perNode := map[string]int{}
+	for _, nid := range p.Route {
+		perNode[nid]++
+	}
+	if len(perNode) < 2 {
+		t.Fatalf("expected tasks on both nodes, got %v (unplaced %v)", perNode, p.Unplaced)
+	}
+	for id, nid := range p.Route {
+		found := false
+		for _, plan := range p.Plans {
+			if plan.Node.ID != nid {
+				continue
+			}
+			if _, ok := plan.Admitted[id]; ok {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("routed task %s missing from node %s admitted set", id, nid)
+		}
+	}
+}
+
+// TestPlaceBandwidthShrinksLatencyBudget: a node behind a slow link must
+// lose tight-latency tasks to a well-connected peer, and a link that
+// eats the whole budget excludes the node entirely.
+func TestPlaceBandwidthShrinksLatencyBudget(t *testing.T) {
+	in, err := workload.SmallScenario(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// task-1 has L=200ms, β=350Kb. A 2 Mb/s link forwards a frame in
+	// 175ms, leaving 25ms — too tight for slice tx + compute — while a
+	// 1000 Mb/s link costs 0.35ms.
+	slow := Node{ID: "slow", Res: in.Res, BandwidthMbps: 2}
+	fast := Node{ID: "fast", Res: in.Res, BandwidthMbps: 1000}
+	p := Place(context.Background(), in.Tasks, in.Blocks, []Node{slow, fast}, in.Alpha)
+	if nid, ok := p.Route["task-1"]; !ok || nid != "fast" {
+		t.Errorf("task-1 (L=200ms) routed to %q, want the fast node (route %v, unplaced %v)", nid, p.Route, p.Unplaced)
+	}
+
+	// A link slower than the frame rate of any budget excludes the node.
+	dead := Node{ID: "dead", Res: in.Res, BandwidthMbps: 0.1}
+	p = Place(context.Background(), in.Tasks, in.Blocks, []Node{dead}, in.Alpha)
+	if len(p.Route) != 0 {
+		t.Errorf("0.1 Mb/s node admitted %v, want nothing", p.Route)
+	}
+	if len(p.Unplaced) != len(in.Tasks) {
+		t.Errorf("unplaced %d want %d", len(p.Unplaced), len(in.Tasks))
+	}
+}
+
+// TestAdjustTask pins the bandwidth model arithmetic.
+func TestAdjustTask(t *testing.T) {
+	task := core.Task{ID: "t", MaxLatency: 200 * time.Millisecond, InputBits: 1e6}
+	n := Node{BandwidthMbps: 10} // 1e6 bits / 10 Mb/s = 100 ms
+	adj, ok := n.AdjustTask(task)
+	if !ok {
+		t.Fatal("expected adjustable")
+	}
+	if adj.MaxLatency != 100*time.Millisecond {
+		t.Errorf("adjusted latency %v want 100ms", adj.MaxLatency)
+	}
+	if _, ok := (Node{BandwidthMbps: 4}).AdjustTask(task); ok {
+		t.Error("250ms forward delay must exhaust a 200ms budget")
+	}
+	if adj, _ := (Node{}).AdjustTask(task); adj.MaxLatency != task.MaxLatency {
+		t.Error("unmeasured link must not charge the budget")
+	}
+}

@@ -1,0 +1,223 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"offloadnn/internal/core"
+)
+
+// The wire types serialize the core model over the cluster-internal HTTP
+// protocol. Unlike serve.TaskSpec (the request-side fields a UE submits,
+// paths built server-side), a cluster push carries fully built tasks —
+// candidate paths, quality ladders and the blocks they reference — so
+// the member's DOT instance is byte-for-byte the per-node instance the
+// coordinator placed with, whatever catalog the member was started with.
+
+// WireBlock is core.BlockSpec on the wire.
+type WireBlock struct {
+	ID             string  `json:"id"`
+	ComputeSeconds float64 `json:"compute_seconds"`
+	MemoryGB       float64 `json:"memory_gb"`
+	TrainSeconds   float64 `json:"train_seconds,omitempty"`
+}
+
+// WirePath is core.PathSpec on the wire.
+type WirePath struct {
+	ID       string   `json:"id"`
+	DNN      string   `json:"dnn"`
+	Blocks   []string `json:"blocks"`
+	Accuracy float64  `json:"accuracy"`
+}
+
+// WireQuality is core.QualityLevel on the wire.
+type WireQuality struct {
+	ID            string  `json:"id"`
+	Bits          float64 `json:"bits"`
+	AccuracyDelta float64 `json:"accuracy_delta,omitempty"`
+}
+
+// WireTask is a fully built core.Task on the wire.
+type WireTask struct {
+	ID           string        `json:"id"`
+	Priority     float64       `json:"priority"`
+	Rate         float64       `json:"rate"`
+	MinAccuracy  float64       `json:"min_accuracy"`
+	MaxLatencyMS float64       `json:"max_latency_ms"`
+	InputBits    float64       `json:"input_bits"`
+	SNRdB        float64       `json:"snr_db"`
+	Qualities    []WireQuality `json:"qualities,omitempty"`
+	Paths        []WirePath    `json:"paths"`
+}
+
+// WireResources is core.Resources on the wire (the capacity model is
+// configuration, not state: both sides must be started with the same
+// B(σ) model, which every daemon here is — the Table-IV paper rate).
+type WireResources struct {
+	RBs                int     `json:"rbs"`
+	ComputeSeconds     float64 `json:"compute_seconds"`
+	MemoryGB           float64 `json:"memory_gb"`
+	TrainBudgetSeconds float64 `json:"train_budget_seconds"`
+	// Norm carries the fleet-wide objective normalizer of a pushed plan
+	// (core.Resources.Norm): the member must price its solve against the
+	// same fleet totals the coordinator placed with, or the two reach
+	// different admission sets. Never nested.
+	Norm *WireResources `json:"norm,omitempty"`
+}
+
+// RegisterRequest is the body of POST /v1/cluster/nodes: a member
+// announcing itself with its serving address, budgets and link rate.
+type RegisterRequest struct {
+	Node          string        `json:"node"`
+	Addr          string        `json:"addr"`
+	Res           WireResources `json:"res"`
+	BandwidthMbps float64       `json:"bandwidth_mbps,omitempty"`
+	State         string        `json:"state,omitempty"`
+	Epoch         uint64        `json:"epoch,omitempty"`
+}
+
+// HeartbeatRequest is the body of POST /v1/cluster/nodes/{id}/heartbeat.
+type HeartbeatRequest struct {
+	State         string  `json:"state"`
+	Epoch         uint64  `json:"epoch"`
+	Tasks         int     `json:"tasks"`
+	BandwidthMbps float64 `json:"bandwidth_mbps,omitempty"`
+}
+
+// PlanPush is the body of PUT /v1/cluster/plan: one node's slice of a
+// cluster placement. Placement is the coordinator's monotone placement
+// sequence number; Res echoes the budgets the subset was solved against
+// so the member can refuse a plan solved for capacities it doesn't have.
+type PlanPush struct {
+	Node      string              `json:"node"`
+	Placement uint64              `json:"placement"`
+	Alpha     float64             `json:"alpha"`
+	Res       WireResources       `json:"res"`
+	Tasks     []WireTask          `json:"tasks"`
+	Blocks    map[string]WireBlock `json:"blocks,omitempty"`
+}
+
+// PlanAck is the member's response to a plan push.
+type PlanAck struct {
+	Node    string `json:"node"`
+	Epoch   uint64 `json:"epoch"`
+	Tasks   int    `json:"tasks"`
+	Changed bool   `json:"changed"`
+}
+
+// ToWireTask converts a built core.Task for the wire.
+func ToWireTask(t core.Task) WireTask {
+	w := WireTask{
+		ID:           t.ID,
+		Priority:     t.Priority,
+		Rate:         t.Rate,
+		MinAccuracy:  t.MinAccuracy,
+		MaxLatencyMS: float64(t.MaxLatency) / float64(time.Millisecond),
+		InputBits:    t.InputBits,
+		SNRdB:        t.SNRdB,
+	}
+	for _, q := range t.Qualities {
+		w.Qualities = append(w.Qualities, WireQuality{ID: q.ID, Bits: q.Bits, AccuracyDelta: q.AccuracyDelta})
+	}
+	for _, p := range t.Paths {
+		w.Paths = append(w.Paths, WirePath{ID: p.ID, DNN: p.DNN, Blocks: p.Blocks, Accuracy: p.Accuracy})
+	}
+	return w
+}
+
+// Task converts the wire form back into a core.Task.
+func (w WireTask) Task() core.Task {
+	t := core.Task{
+		ID:          w.ID,
+		Priority:    w.Priority,
+		Rate:        w.Rate,
+		MinAccuracy: w.MinAccuracy,
+		MaxLatency:  time.Duration(w.MaxLatencyMS * float64(time.Millisecond)),
+		InputBits:   w.InputBits,
+		SNRdB:       w.SNRdB,
+	}
+	for _, q := range w.Qualities {
+		t.Qualities = append(t.Qualities, core.QualityLevel{ID: q.ID, Bits: q.Bits, AccuracyDelta: q.AccuracyDelta})
+	}
+	for _, p := range w.Paths {
+		t.Paths = append(t.Paths, core.PathSpec{ID: p.ID, DNN: p.DNN, Blocks: p.Blocks, Accuracy: p.Accuracy})
+	}
+	return t
+}
+
+// ToWireBlocks converts a block catalog for the wire.
+func ToWireBlocks(blocks map[string]core.BlockSpec) map[string]WireBlock {
+	if len(blocks) == 0 {
+		return nil
+	}
+	out := make(map[string]WireBlock, len(blocks))
+	for id, b := range blocks {
+		out[id] = WireBlock{ID: b.ID, ComputeSeconds: b.ComputeSeconds, MemoryGB: b.MemoryGB, TrainSeconds: b.TrainSeconds}
+	}
+	return out
+}
+
+// FromWireBlocks converts a wire catalog back into core blocks.
+func FromWireBlocks(blocks map[string]WireBlock) map[string]core.BlockSpec {
+	out := make(map[string]core.BlockSpec, len(blocks))
+	for id, b := range blocks {
+		if b.ID == "" {
+			b.ID = id
+		}
+		out[id] = core.BlockSpec{ID: b.ID, ComputeSeconds: b.ComputeSeconds, MemoryGB: b.MemoryGB, TrainSeconds: b.TrainSeconds}
+	}
+	return out
+}
+
+// ToWireResources converts a capacity pool for the wire.
+func ToWireResources(r core.Resources) WireResources {
+	w := WireResources{
+		RBs:                r.RBs,
+		ComputeSeconds:     r.ComputeSeconds,
+		MemoryGB:           r.MemoryGB,
+		TrainBudgetSeconds: r.TrainBudgetSeconds,
+	}
+	if r.Norm != nil {
+		n := ToWireResources(core.Resources{
+			RBs:                r.Norm.RBs,
+			ComputeSeconds:     r.Norm.ComputeSeconds,
+			MemoryGB:           r.Norm.MemoryGB,
+			TrainBudgetSeconds: r.Norm.TrainBudgetSeconds,
+		})
+		w.Norm = &n
+	}
+	return w
+}
+
+// NormResources converts the wire norm into the pricing override a member
+// applies to its own pool, nil when the push carries none.
+func (w WireResources) NormResources() *core.Resources {
+	if w.Norm == nil {
+		return nil
+	}
+	return &core.Resources{
+		RBs:                w.Norm.RBs,
+		ComputeSeconds:     w.Norm.ComputeSeconds,
+		MemoryGB:           w.Norm.MemoryGB,
+		TrainBudgetSeconds: w.Norm.TrainBudgetSeconds,
+	}
+}
+
+// Matches reports whether the wire budgets equal the given pool (the
+// member-side check that a pushed plan was solved for its capacities).
+func (w WireResources) Matches(r core.Resources) error {
+	const eps = 1e-9
+	if w.RBs != r.RBs {
+		return fmt.Errorf("cluster: plan solved for %d RBs, node has %d", w.RBs, r.RBs)
+	}
+	if diff := w.ComputeSeconds - r.ComputeSeconds; diff > eps || diff < -eps {
+		return fmt.Errorf("cluster: plan solved for C=%gs, node has %gs", w.ComputeSeconds, r.ComputeSeconds)
+	}
+	if diff := w.MemoryGB - r.MemoryGB; diff > eps || diff < -eps {
+		return fmt.Errorf("cluster: plan solved for M=%g GB, node has %g GB", w.MemoryGB, r.MemoryGB)
+	}
+	if diff := w.TrainBudgetSeconds - r.TrainBudgetSeconds; diff > eps || diff < -eps {
+		return fmt.Errorf("cluster: plan solved for Ct=%gs, node has %gs", w.TrainBudgetSeconds, r.TrainBudgetSeconds)
+	}
+	return nil
+}

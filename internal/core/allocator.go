@@ -181,12 +181,14 @@ func (in *Instance) solveZLP(active []*allocState) error {
 	rbRow := make([]float64, n)
 	for i, st := range active {
 		task := &in.Tasks[st.idx]
+		// Prices come from the (possibly fleet-wide) normalizers, the
+		// capacity rows below from the pool's own budgets.
 		k := -in.Alpha * task.Priority
-		if in.Res.RBs > 0 {
-			k += (1 - in.Alpha) * float64(st.r) / float64(in.Res.RBs)
+		if rNorm := in.Res.PriceRBs(); rNorm > 0 {
+			k += (1 - in.Alpha) * float64(st.r) / float64(rNorm)
 		}
-		if in.Res.ComputeSeconds > 0 {
-			k += (1 - in.Alpha) * task.Rate * st.cPath / in.Res.ComputeSeconds
+		if cNorm := in.Res.PriceComputeSeconds(); cNorm > 0 {
+			k += (1 - in.Alpha) * task.Rate * st.cPath / cNorm
 		}
 		p.C[i] = k
 		computeRow[i] = task.Rate * st.cPath

@@ -42,11 +42,11 @@ func (in *Instance) Evaluate(assignments []Assignment) (Breakdown, error) {
 		// Radio term: the fraction of total radio resources allocated to
 		// admitted tasks (Sec. III-B item (ii)) — z·r/R, not scaled by the
 		// request rate (a slice of r RBs is allocated once per task).
-		if in.Res.RBs > 0 {
-			bd.RadioTerm += (1 - in.Alpha) * z * float64(a.RBs) / float64(in.Res.RBs)
+		if rNorm := in.Res.PriceRBs(); rNorm > 0 {
+			bd.RadioTerm += (1 - in.Alpha) * z * float64(a.RBs) / float64(rNorm)
 		}
-		if in.Res.ComputeSeconds > 0 {
-			bd.InferTerm += (1 - in.Alpha) * z * task.Rate * cPath / in.Res.ComputeSeconds
+		if cNorm := in.Res.PriceComputeSeconds(); cNorm > 0 {
+			bd.InferTerm += (1 - in.Alpha) * z * task.Rate * cPath / cNorm
 		}
 		for _, bID := range a.Path.Blocks {
 			active[bID] = true
@@ -62,7 +62,7 @@ func (in *Instance) Evaluate(assignments []Assignment) (Breakdown, error) {
 		bd.MemoryGB += in.BlockMemoryGB(id)
 		bd.TrainSeconds += in.BlockTrainSeconds(id)
 	}
-	bd.TrainTerm = (1 - in.Alpha) * bd.TrainSeconds / in.Res.TrainBudgetSeconds
+	bd.TrainTerm = (1 - in.Alpha) * bd.TrainSeconds / in.Res.PriceTrainBudgetSeconds()
 	return bd, nil
 }
 

@@ -123,6 +123,40 @@ type Resources struct {
 	TrainBudgetSeconds float64
 	// Capacity maps SNR to per-RB throughput B(σ).
 	Capacity radio.CapacityModel
+	// Norm optionally overrides the capacities the objective's resource
+	// terms are priced against, leaving the constraints (1b)–(1e) at the
+	// pool's own budgets. A cluster node solving 1/n of a fleet's pool
+	// sets Norm to the fleet-wide totals so each node prices an RB or a
+	// compute-second exactly as the single-server objective would —
+	// otherwise a half-capacity node sees doubled resource prices and
+	// sheds low-priority tasks the fleet has room for. Nil (the default)
+	// prices by the pool itself. Only RBs, ComputeSeconds and
+	// TrainBudgetSeconds are read; a nested Norm is ignored.
+	Norm *Resources
+}
+
+// PriceRBs returns the R the radio term is normalized by.
+func (r Resources) PriceRBs() int {
+	if r.Norm != nil && r.Norm.RBs > 0 {
+		return r.Norm.RBs
+	}
+	return r.RBs
+}
+
+// PriceComputeSeconds returns the C the inference term is normalized by.
+func (r Resources) PriceComputeSeconds() float64 {
+	if r.Norm != nil && r.Norm.ComputeSeconds > 0 {
+		return r.Norm.ComputeSeconds
+	}
+	return r.ComputeSeconds
+}
+
+// PriceTrainBudgetSeconds returns the Ct the training term is normalized by.
+func (r Resources) PriceTrainBudgetSeconds() float64 {
+	if r.Norm != nil && r.Norm.TrainBudgetSeconds > 0 {
+		return r.Norm.TrainBudgetSeconds
+	}
+	return r.TrainBudgetSeconds
 }
 
 // Instance is a complete DOT problem.

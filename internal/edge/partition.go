@@ -1,0 +1,31 @@
+package edge
+
+import "offloadnn/internal/core"
+
+// PartitionResources splits one edge server's capacity pool into n
+// per-node budgets for a cluster of edge nodes: compute C and memory M
+// divide evenly, the R radio resource blocks split integrally with the
+// remainder spread over the first nodes, and every node keeps the full
+// training budget Ct (it normalizes the DOT objective's training term —
+// shrinking it would inflate each node's train cost relative to the
+// single-server objective) and the shared capacity model B(σ).
+func PartitionResources(res core.Resources, n int) []core.Resources {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]core.Resources, n)
+	base, extra := res.RBs/n, res.RBs%n
+	for i := range out {
+		out[i] = core.Resources{
+			RBs:                base,
+			ComputeSeconds:     res.ComputeSeconds / float64(n),
+			MemoryGB:           res.MemoryGB / float64(n),
+			TrainBudgetSeconds: res.TrainBudgetSeconds,
+			Capacity:           res.Capacity,
+		}
+		if i < extra {
+			out[i].RBs++
+		}
+	}
+	return out
+}

@@ -53,6 +53,9 @@ var ErrClosed = errors.New("exec: backend closed")
 type Plan struct {
 	// Epoch is the sequence number of the epoch being installed.
 	Epoch uint64
+	// Node optionally names the cluster member installing the plan;
+	// empty for a standalone daemon. Labels backend diagnostics.
+	Node string
 	// Tasks is the task order Deployment.Solution.Assignments is
 	// parallel to.
 	Tasks []core.Task

@@ -316,6 +316,14 @@ func (r *Real) Install(plan *Plan) error {
 	}
 	r.pruneUnreferenced(desired)
 	r.routes.Store(&routes)
+	if r.cfg.Logf != nil && len(created) > 0 {
+		label := ""
+		if plan.Node != "" {
+			label = " node=" + plan.Node
+		}
+		r.cfg.Logf("exec: install epoch %d%s: %d models (%d built), %d shared blocks",
+			plan.Epoch, label, len(r.models), len(created), len(r.lib))
+	}
 	return nil
 }
 

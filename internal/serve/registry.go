@@ -102,6 +102,126 @@ func (r *Registry) Register(t core.Task, blocks map[string]core.BlockSpec) error
 	return nil
 }
 
+// Replace swaps the registry's whole task set for the given one (the
+// cluster-member plan push): tasks absent from the new set are dropped,
+// new ones are added, and a task whose fields are unchanged keeps its
+// stored struct — preserving the identity of its Paths/Qualities backing
+// arrays, which is what lets the resolver's sessionDelta treat it as
+// untouched across pushes. Tasks must arrive pre-built (with candidate
+// paths); blocks they reference are merged into the catalog first. The
+// registry is untouched on a validation error. It returns whether
+// anything actually changed (an identical push bumps no generation, so
+// the resolver's no-op check keeps holding).
+func (r *Registry) Replace(tasks []core.Task, blocks map[string]core.BlockSpec) (bool, error) {
+	for i := range tasks {
+		if err := validateTask(&tasks[i]); err != nil {
+			return false, err
+		}
+		if len(tasks[i].Paths) == 0 {
+			return false, fmt.Errorf("serve: replace: task %s has no candidate paths (cluster pushes must pre-build them)", tasks[i].ID)
+		}
+	}
+	seen := make(map[string]bool, len(tasks))
+	for i := range tasks {
+		if seen[tasks[i].ID] {
+			return false, fmt.Errorf("serve: replace: duplicate task ID %q", tasks[i].ID)
+		}
+		seen[tasks[i].ID] = true
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	merged := make(map[string]core.BlockSpec, len(r.blocks)+len(blocks))
+	for id, b := range r.blocks {
+		merged[id] = b
+	}
+	for id, b := range blocks {
+		if _, ok := merged[id]; !ok {
+			merged[id] = b
+		}
+	}
+	for i := range tasks {
+		for _, p := range tasks[i].Paths {
+			for _, b := range p.Blocks {
+				if _, ok := merged[b]; !ok {
+					return false, fmt.Errorf("serve: replace: task %s path %s references unknown block %q", tasks[i].ID, p.ID, b)
+				}
+			}
+		}
+	}
+	changed := len(blocks) > 0 && len(merged) != len(r.blocks)
+	next := make(map[string]core.Task, len(tasks))
+	order := make([]string, 0, len(tasks))
+	for i := range tasks {
+		t := tasks[i]
+		if prev, ok := r.tasks[t.ID]; ok {
+			rate := t.Rate
+			t.Rate = prev.Rate
+			if taskEqual(&prev, &t) {
+				// Keep the stored struct: path identity survives the push,
+				// so the resolver's sessionDelta sees an unchanged task (or
+				// a cheap rate-only update) instead of a remove + re-add.
+				t = prev
+				t.Rate = rate
+				changed = changed || rate != prev.Rate
+			} else {
+				t.Rate = rate
+				changed = true
+			}
+		} else {
+			changed = true
+		}
+		next[t.ID] = t
+		order = append(order, t.ID)
+	}
+	if len(next) != len(r.tasks) {
+		changed = true
+	} else {
+		for i, id := range order {
+			if i >= len(r.order) || r.order[i] != id {
+				changed = true
+				break
+			}
+		}
+	}
+	if !changed {
+		return false, nil
+	}
+	r.tasks = next
+	r.order = order
+	r.blocks = merged
+	r.gen++
+	return true, nil
+}
+
+// taskEqual reports whether two task snapshots carry identical fields,
+// comparing Paths and Qualities by value (a pushed task arrives through
+// JSON, so backing-array identity never holds across pushes).
+func taskEqual(a, b *core.Task) bool {
+	if a.ID != b.ID || a.Priority != b.Priority || a.Rate != b.Rate ||
+		a.MinAccuracy != b.MinAccuracy || a.MaxLatency != b.MaxLatency ||
+		a.InputBits != b.InputBits || a.SNRdB != b.SNRdB ||
+		len(a.Qualities) != len(b.Qualities) || len(a.Paths) != len(b.Paths) {
+		return false
+	}
+	for i := range a.Qualities {
+		if a.Qualities[i] != b.Qualities[i] {
+			return false
+		}
+	}
+	for i := range a.Paths {
+		pa, pb := &a.Paths[i], &b.Paths[i]
+		if pa.ID != pb.ID || pa.DNN != pb.DNN || pa.Accuracy != pb.Accuracy || len(pa.Blocks) != len(pb.Blocks) {
+			return false
+		}
+		for j := range pa.Blocks {
+			if pa.Blocks[j] != pb.Blocks[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // Deregister removes a task. Removing an absent ID is an error so the
 // HTTP layer can answer 404.
 func (r *Registry) Deregister(id string) error {

@@ -112,6 +112,7 @@ type Resolver struct {
 	logf     func(string, ...any)
 	stats    *Stats
 	faults   *faultinject.Injector
+	node     string
 
 	solveTimeout time.Duration
 	backoffBase  time.Duration
@@ -164,6 +165,7 @@ type resolverParams struct {
 	breakerN     int
 	faults       *faultinject.Injector
 	backend      exec.Backend
+	node         string
 }
 
 func newResolver(reg *Registry, ctrl *edge.Controller, res core.Resources, alpha float64,
@@ -181,6 +183,7 @@ func newResolver(reg *Registry, ctrl *edge.Controller, res core.Resources, alpha
 		logf:         logf,
 		stats:        stats,
 		faults:       p.faults,
+		node:         p.node,
 		solveTimeout: p.solveTimeout,
 		backoffBase:  p.backoffBase,
 		backoffMax:   p.backoffMax,
@@ -377,6 +380,7 @@ func (r *Resolver) resolve(force bool) error {
 	if r.backend != nil {
 		if err := r.backend.Install(&exec.Plan{
 			Epoch:      r.epochN + 1,
+			Node:       r.node,
 			Tasks:      ep.Tasks,
 			Blocks:     blocks,
 			Res:        r.res,
@@ -445,6 +449,37 @@ func (r *Resolver) produce(tasks []core.Task, blocks map[string]core.BlockSpec) 
 		return nil, nil, err
 	}
 	return dep, tasks, nil
+}
+
+// SetNorm installs (or clears) the objective-pricing override of every
+// subsequent solve and reports whether it differed from the current one.
+// A pricing change drops the incremental session: its cached state was
+// costed at the old prices. The caller decides whether to re-solve (a
+// plan push follows SetNorm with ResolveNow when anything changed).
+func (r *Resolver) SetNorm(norm *core.Resources) bool {
+	r.solveMu.Lock()
+	defer r.solveMu.Unlock()
+	if normEqual(r.res.Norm, norm) {
+		return false
+	}
+	r.res.Norm = norm
+	r.session = nil
+	return true
+}
+
+// normEqual compares two pricing overrides by the fields PriceRBs &co
+// read.
+func normEqual(a, b *core.Resources) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	return a.RBs == b.RBs &&
+		a.ComputeSeconds == b.ComputeSeconds &&
+		a.MemoryGB == b.MemoryGB &&
+		a.TrainBudgetSeconds == b.TrainBudgetSeconds
 }
 
 // recordFailure counts a failed solve and trips the incremental→full

@@ -103,6 +103,11 @@ type Config struct {
 	// Logf, when set, receives re-solve failures and other background
 	// diagnostics (e.g. log.Printf). Nil discards them.
 	Logf func(string, ...any)
+	// Node optionally names this daemon as a cluster member. It labels
+	// the plans installed into the execution backend (exec.Plan.Node)
+	// and is reported by the cluster membership protocol; empty for a
+	// standalone daemon.
+	Node string
 }
 
 // Server is the serving daemon: registry + resolver + HTTP surface.
@@ -184,6 +189,7 @@ func New(cfg Config) (*Server, error) {
 			breakerN:     cfg.BreakerThreshold,
 			faults:       cfg.Faults,
 			backend:      cfg.Backend,
+			node:         cfg.Node,
 		})
 	s.mux = s.routes()
 	return s, nil
@@ -232,6 +238,41 @@ func (s *Server) Deregister(id string) error {
 	s.resolver.Kick()
 	return nil
 }
+
+// ReplaceTasks swaps the whole task set for the given pre-built one and
+// synchronously brings the published epoch up to date — the
+// cluster-member plan push. norm, when non-nil, overrides the objective
+// pricing of every subsequent solve with the coordinator's fleet-wide
+// capacity totals (core.Resources.Norm), so the member reprices exactly
+// as the placement did. Unchanged tasks keep their registry structs, so
+// consecutive pushes of a stable placement re-solve incrementally (or
+// not at all). A push to a draining server is refused like any other
+// registration.
+func (s *Server) ReplaceTasks(tasks []core.Task, blocks map[string]core.BlockSpec, norm *core.Resources) (bool, error) {
+	if s.draining.Load() {
+		return false, ErrDraining
+	}
+	normChanged := s.resolver.SetNorm(norm)
+	changed, err := s.reg.Replace(tasks, blocks)
+	if err != nil {
+		return false, err
+	}
+	if !changed && !normChanged {
+		return false, nil
+	}
+	return true, s.resolver.ResolveNow()
+}
+
+// Resources returns the capacity pool every epoch is solved against —
+// the budgets a cluster member advertises to its coordinator.
+func (s *Server) Resources() core.Resources { return s.cfg.Res }
+
+// Alpha returns the admission/resource trade-off the daemon solves with.
+func (s *Server) Alpha() float64 { return s.cfg.Alpha }
+
+// Node returns the configured cluster-member node ID, empty for a
+// standalone daemon.
+func (s *Server) Node() string { return s.cfg.Node }
 
 // ResolveNow synchronously brings the published epoch up to date with
 // the registry, bypassing the debounce (used at daemon startup and in

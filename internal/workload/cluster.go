@@ -1,0 +1,37 @@
+package workload
+
+import (
+	"fmt"
+
+	"offloadnn/internal/core"
+)
+
+// ClusterScenario builds the paper's 20-task large scenario for an
+// n-node edge cluster: the full task set and block catalog at the given
+// load, plus each node's equal share of the Table-IV resource pool.
+// Compute and memory are divided evenly, radio blocks are integer-split
+// with the remainder spread over the first nodes, and every node keeps
+// the whole training budget Ct — fine-tuning headroom is per edge node,
+// not a fleet-wide pool. All shares reference the scenario's capacity
+// model, so per-node solves price transmission identically.
+func ClusterScenario(load Load, nodes int) (*core.Instance, []core.Resources, error) {
+	if nodes < 1 {
+		return nil, nil, fmt.Errorf("workload: cluster scenario needs at least 1 node, got %d", nodes)
+	}
+	in, err := LargeScenario(load)
+	if err != nil {
+		return nil, nil, err
+	}
+	shares := make([]core.Resources, nodes)
+	base, extra := in.Res.RBs/nodes, in.Res.RBs%nodes
+	for i := range shares {
+		shares[i] = in.Res
+		shares[i].RBs = base
+		if i < extra {
+			shares[i].RBs++
+		}
+		shares[i].ComputeSeconds = in.Res.ComputeSeconds / float64(nodes)
+		shares[i].MemoryGB = in.Res.MemoryGB / float64(nodes)
+	}
+	return in, shares, nil
+}

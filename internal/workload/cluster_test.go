@@ -1,0 +1,38 @@
+package workload
+
+import "testing"
+
+func TestClusterScenarioShares(t *testing.T) {
+	in, shares, err := ClusterScenario(LoadMedium, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shares) != 3 {
+		t.Fatalf("got %d shares, want 3", len(shares))
+	}
+	rbs := 0
+	var compute, memory float64
+	for i, s := range shares {
+		rbs += s.RBs
+		compute += s.ComputeSeconds
+		memory += s.MemoryGB
+		if s.TrainBudgetSeconds != in.Res.TrainBudgetSeconds {
+			t.Errorf("share %d train budget %v, want the full %v per node", i, s.TrainBudgetSeconds, in.Res.TrainBudgetSeconds)
+		}
+		if s.Capacity == nil {
+			t.Errorf("share %d lost the capacity model", i)
+		}
+	}
+	if rbs != in.Res.RBs {
+		t.Errorf("shares hold %d RBs total, pool has %d", rbs, in.Res.RBs)
+	}
+	if diff := compute - in.Res.ComputeSeconds; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("shares hold %v compute total, pool has %v", compute, in.Res.ComputeSeconds)
+	}
+	if diff := memory - in.Res.MemoryGB; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("shares hold %v GB total, pool has %v", memory, in.Res.MemoryGB)
+	}
+	if _, _, err := ClusterScenario(LoadMedium, 0); err == nil {
+		t.Error("0-node cluster scenario did not error")
+	}
+}
