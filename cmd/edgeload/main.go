@@ -263,7 +263,8 @@ func main() {
 
 func run() int {
 	addr := flag.String("addr", "http://127.0.0.1:8080", "edgeserve base URL")
-	tasks := flag.Int("tasks", 5, "number of small-scenario tasks (1..5)")
+	tasks := flag.Int("tasks", 5, "number of scenario tasks (small: 1..5, scale: any)")
+	scenario := flag.String("scenario", "small", "static task scenario: small (Table-IV) | scale (solver-scale registry; offload traffic driven for the first 64 tasks)")
 	duration := flag.Duration("duration", 10*time.Second, "load duration")
 	scale := flag.Float64("scale", 1.0, "request-rate multiplier on each task's λ")
 	churn := flag.Bool("churn", false, "follow the deterministic churn timeline instead of a static task set")
@@ -342,28 +343,55 @@ func run() int {
 		}
 		<-ctx.Done()
 	} else {
-		if *tasks < 1 || *tasks > 5 {
-			fmt.Fprintf(os.Stderr, "edgeload: -tasks %d outside 1..5\n", *tasks)
-			return 2
-		}
-		var set []core.Task
-		for i := 1; i <= *tasks; i++ {
-			task, err := workload.SmallTask(i)
+		// set is the registered task list; drive holds the subset whose
+		// offload traffic the loader generates.
+		var set, drive []core.Task
+		settle := 5 * time.Second
+		switch *scenario {
+		case "small":
+			if *tasks < 1 || *tasks > 5 {
+				fmt.Fprintf(os.Stderr, "edgeload: -tasks %d outside 1..5\n", *tasks)
+				return 2
+			}
+			for i := 1; i <= *tasks; i++ {
+				task, err := workload.SmallTask(i)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "edgeload:", err)
+					return 2
+				}
+				set = append(set, task)
+			}
+			drive = set
+		case "scale":
+			// Solver-scale run: the registry (and with it the resolver's
+			// tier selection) is the thing under load, not the offload
+			// path, so only the first tasks generate traffic.
+			in, err := workload.ScaleScenario(*tasks)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "edgeload:", err)
 				return 2
 			}
-			set = append(set, task)
+			set = in.Tasks
+			drive = set
+			if len(drive) > 64 {
+				drive = drive[:64]
+			}
+			settle = 60 * time.Second
+		default:
+			fmt.Fprintf(os.Stderr, "edgeload: unknown scenario %q (want small|scale)\n", *scenario)
+			return 2
+		}
+		for _, task := range set {
 			if err := l.register(task); err != nil {
 				fmt.Fprintln(os.Stderr, "edgeload:", err)
 				return 1
 			}
 		}
-		if err := l.waitCurrent(5 * time.Second); err != nil {
+		if err := l.waitCurrent(settle); err != nil {
 			fmt.Fprintln(os.Stderr, "edgeload:", err)
 			return 1
 		}
-		for _, task := range set {
+		for _, task := range drive {
 			start(task, ctx)
 		}
 		<-ctx.Done()

@@ -88,7 +88,11 @@ func run() int {
 	batchWindow := flag.Duration("batch-window", 2*time.Millisecond, "real backend: max wait for a partial batch")
 	modelWidth := flag.Int("model-width", 8, "real backend: base channel width of the model template")
 	inputShape := flag.String("input", "8x8", "real backend: input HxW (channels fixed at 3)")
-	solveTimeout := flag.Duration("solve-timeout", 0, "deadline for one epoch's solve (0 = unbounded)")
+	solveTimeout := flag.Duration("solve-timeout", 0, "deadline for one epoch's solve (0 = default 2s, negative = unbounded)")
+	solverTier := flag.String("solver-tier", "auto", "epoch solver tier: auto|heuristic|optimal|approx")
+	solverWorkers := flag.Int("solver-workers", 0, "worker bound for parallel solver tiers (0 = all cores)")
+	solverShards := flag.Int("solver-shards", 0, "priority-band shards for the heuristic tier (0 = auto, 1 = serial)")
+	approxAfter := flag.Int("approx-after", 0, "task count at which the auto tier escalates to the approximate solver (0 = default 512, negative = never)")
 	staleAfter := flag.Duration("stale-after", 10*time.Second, "plan staleness before /healthz reports degraded")
 	backoff := flag.Duration("backoff", 0, "initial retry delay after a failed re-solve (0 = debounce)")
 	backoffMax := flag.Duration("backoff-max", 5*time.Second, "retry delay cap under consecutive failures")
@@ -106,6 +110,12 @@ func run() int {
 		return nil
 	})
 	flag.Parse()
+
+	tier, err := core.ParseTier(*solverTier)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "edgeserve:", err)
+		return 2
+	}
 
 	var faults *faultinject.Injector
 	if len(faultSpecs) > 0 {
@@ -176,6 +186,8 @@ func run() int {
 		Debounce:          *debounce,
 		Window:            *window,
 		SolveTimeout:      *solveTimeout,
+		Solver:            core.SolverSpec{Tier: tier, Workers: *solverWorkers, Shards: *solverShards},
+		ApproxAfter:       *approxAfter,
 		StaleAfter:        *staleAfter,
 		FailureBackoff:    *backoff,
 		FailureBackoffMax: *backoffMax,

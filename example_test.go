@@ -1,6 +1,7 @@
 package offloadnn_test
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -29,7 +30,7 @@ func ExampleSolve() {
 			}},
 		}},
 	}
-	sol, err := offloadnn.Solve(in)
+	sol, err := offloadnn.Solve(context.Background(), in)
 	if err != nil {
 		fmt.Println("error:", err)
 		return
@@ -62,7 +63,7 @@ func ExampleSolveSEMORAN() {
 		fmt.Println("error:", err)
 		return
 	}
-	ours, err := offloadnn.Solve(in)
+	ours, err := offloadnn.Solve(context.Background(), in)
 	if err != nil {
 		fmt.Println("error:", err)
 		return
@@ -106,7 +107,7 @@ func ExampleCheck() {
 		fmt.Println("error:", err)
 		return
 	}
-	sol, err := offloadnn.Solve(in)
+	sol, err := offloadnn.Solve(context.Background(), in)
 	if err != nil {
 		fmt.Println("error:", err)
 		return

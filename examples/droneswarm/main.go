@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -39,7 +40,7 @@ func main() {
 		Alpha: 0.5,
 	}
 
-	sol, err := offloadnn.Solve(in)
+	sol, err := offloadnn.Solve(context.Background(), in)
 	if err != nil {
 		log.Fatalf("solve: %v", err)
 	}

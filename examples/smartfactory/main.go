@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -48,7 +49,7 @@ func main() {
 		Alpha: 0.5,
 	}
 
-	sol, err := offloadnn.Solve(in)
+	sol, err := offloadnn.Solve(context.Background(), in)
 	if err != nil {
 		log.Fatalf("solve: %v", err)
 	}

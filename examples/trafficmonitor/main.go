@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -32,7 +33,7 @@ func main() {
 		trafficTask(catalog, "detect-jams", 0.8, 2.5, 0.70, 500*time.Millisecond),
 	}
 	in1 := &offloadnn.Instance{Tasks: morning, Blocks: catalog, Res: res, Alpha: 0.5}
-	sol1, err := offloadnn.Solve(in1)
+	sol1, err := offloadnn.Solve(context.Background(), in1)
 	if err != nil {
 		log.Fatalf("morning round: %v", err)
 	}
@@ -60,7 +61,7 @@ func main() {
 		Alpha:       0.5,
 		Predeployed: deployed,
 	}
-	sol2, err := offloadnn.Solve(in2)
+	sol2, err := offloadnn.Solve(context.Background(), in2)
 	if err != nil {
 		log.Fatalf("rush-hour round: %v", err)
 	}

@@ -96,7 +96,7 @@ func TestSessionMatchesSolveAcrossChurnTimeline(t *testing.T) {
 			Res:    base.Res,
 			Alpha:  base.Alpha,
 		}
-		want, err := Solve(scratchIn)
+		want, err := Solve(context.Background(), scratchIn)
 		if err != nil {
 			t.Fatalf("event %d: scratch solve: %v", ei, err)
 		}
@@ -189,7 +189,7 @@ func TestSentinelErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol, err := Solve(in)
+	sol, err := Solve(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -88,6 +88,24 @@ type nodeState struct {
 	dead bool
 }
 
+// DefaultPlaceApproxAfter is the fleet-wide task count at which
+// PlaceWith abandons the exact per-node session bin-pack — quadratic in
+// the task count — for the approximate partition-and-pack placement.
+const DefaultPlaceApproxAfter = 512
+
+// PlaceConfig parameterizes a placement run.
+type PlaceConfig struct {
+	// Alpha weights admission against resource cost in every per-node
+	// solve.
+	Alpha float64
+	// ApproxAfter is the task count at which the placement switches from
+	// the exact per-node session bin-pack to the approximate tier:
+	// capacity-proportional task partitioning followed by one per-node
+	// approximate admission solve. 0 applies DefaultPlaceApproxAfter;
+	// negative pins the exact bin-pack at every scale.
+	ApproxAfter int
+}
+
 // Place assigns every task to at most one node: greedy bin-pack by
 // descending priority (ties keep registration order) over per-node
 // incremental solver sessions. Each task is offered to the nodes in
@@ -99,10 +117,35 @@ type nodeState struct {
 // priority placement: the per-node objective prefers shedding the
 // cheaper newcomer, which is exactly the spill signal.
 //
+// Past DefaultPlaceApproxAfter tasks the run switches to the approximate
+// placement (see PlaceWith); Place is PlaceWith with the default
+// configuration at the given alpha.
+//
 // The returned placement carries each node's final solution; members
 // re-solve the same per-node instance locally after the push and reach
 // the same assignments.
 func Place(ctx context.Context, tasks []core.Task, blocks map[string]core.BlockSpec, nodes []Node, alpha float64) *Placement {
+	return PlaceWith(ctx, tasks, blocks, nodes, PlaceConfig{Alpha: alpha})
+}
+
+// PlaceWith computes one cluster-wide placement under the given
+// configuration: the exact per-node session bin-pack below the
+// ApproxAfter threshold, the approximate partition-and-pack placement at
+// or above it.
+func PlaceWith(ctx context.Context, tasks []core.Task, blocks map[string]core.BlockSpec, nodes []Node, cfg PlaceConfig) *Placement {
+	after := cfg.ApproxAfter
+	if after == 0 {
+		after = DefaultPlaceApproxAfter
+	}
+	if after > 0 && len(tasks) >= after && len(nodes) > 0 {
+		return placeApprox(ctx, tasks, blocks, nodes, cfg.Alpha)
+	}
+	return placeExact(ctx, tasks, blocks, nodes, cfg.Alpha)
+}
+
+// placeExact is the exact greedy bin-pack over per-node incremental
+// solver sessions (see Place).
+func placeExact(ctx context.Context, tasks []core.Task, blocks map[string]core.BlockSpec, nodes []Node, alpha float64) *Placement {
 	norm := fleetNorm(nodes)
 	states := make([]*nodeState, len(nodes))
 	for i, n := range nodes {
@@ -413,6 +456,97 @@ func zOf(sol *core.Solution, id string) float64 {
 		}
 	}
 	return 0
+}
+
+// placeApprox is the approximate placement tier for fleet-wide task
+// counts the exact session bin-pack cannot handle: every task costs the
+// exact pass at least one incremental solve per node, so its total work
+// is quadratic-plus in the task count, while this pass is two linear
+// sweeps. Tasks are partitioned across the eligible nodes (link delay
+// must leave latency slack) in descending priority, each to the node
+// with the most remaining compute headroom per unit of assigned demand
+// (λ as the demand proxy), and each node's subset is then packed by one
+// approximate admission solve (core.TierApprox) priced at the
+// fleet-wide normalizers — the same pricing the exact pass uses, so the
+// two tiers' plans are comparable and members reprice identically.
+func placeApprox(ctx context.Context, tasks []core.Task, blocks map[string]core.BlockSpec, nodes []Node, alpha float64) *Placement {
+	norm := fleetNorm(nodes)
+	p := &Placement{Route: make(map[string]string), Norm: norm}
+
+	order := make([]int, len(tasks))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return tasks[order[a]].Priority > tasks[order[b]].Priority
+	})
+
+	// Partition sweep: capacity-proportional balancing over the nodes
+	// whose link leaves the task latency slack.
+	perNode := make([][]core.Task, len(nodes))
+	load := make([]float64, len(nodes)) // Σλ assigned so far
+	for _, ti := range order {
+		t := tasks[ti]
+		best, bestScore := -1, -1.0
+		var bestAdj core.Task
+		for ni := range nodes {
+			adj, ok := nodes[ni].AdjustTask(t)
+			if !ok {
+				continue
+			}
+			score := nodes[ni].Res.ComputeSeconds / (load[ni] + t.Rate)
+			if score > bestScore {
+				best, bestScore, bestAdj = ni, score, adj
+			}
+		}
+		if best < 0 {
+			continue // no node's link leaves latency slack: unplaced
+		}
+		perNode[best] = append(perNode[best], bestAdj)
+		load[best] += t.Rate
+	}
+
+	// Packing sweep: one approximate admission solve per node.
+	p.Plans = make([]NodePlan, len(nodes))
+	routed := make(map[string]bool, len(tasks))
+	for i := range nodes {
+		node := nodes[i]
+		node.Res.Norm = norm // price at fleet-wide rates, constrain at node budgets
+		plan := NodePlan{Node: node, Admitted: make(map[string]float64)}
+		if len(perNode[i]) > 0 {
+			in := &core.Instance{
+				Tasks:  perNode[i],
+				Blocks: referencedBlocks(perNode[i], blocks),
+				Res:    node.Res,
+				Alpha:  alpha,
+			}
+			sol, err := core.SolveSpec(ctx, in, core.SolverSpec{Tier: core.TierApprox})
+			if err != nil {
+				p.Errors = append(p.Errors, fmt.Sprintf("node %s: approx solve: %v", node.ID, err))
+			} else {
+				plan.Tasks = perNode[i]
+				plan.Blocks = in.Blocks
+				plan.Solution = sol
+				for ai, a := range sol.Assignments {
+					if !a.Admitted() || ai >= len(plan.Tasks) {
+						continue
+					}
+					plan.Admitted[a.TaskID] = a.Z * plan.Tasks[ai].Rate
+					routed[a.TaskID] = true
+					p.Route[a.TaskID] = node.ID
+				}
+				p.WeightedAdmission += sol.Breakdown.WeightedAdmission
+			}
+		}
+		p.Plans[i] = plan
+	}
+	for i := range tasks {
+		if !routed[tasks[i].ID] {
+			p.Unplaced = append(p.Unplaced, tasks[i].ID)
+		}
+	}
+	sort.Strings(p.Unplaced)
+	return p
 }
 
 // referencedBlocks gathers the catalog subset the tasks' paths (and

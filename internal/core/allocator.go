@@ -125,7 +125,7 @@ func (in *Instance) optimizeAllocation(ctx context.Context, assignments []Assign
 		if err := ctxErr(ctx); err != nil {
 			return err
 		}
-		if err := in.solveZLP(active); err != nil {
+		if err := in.solveZLP(ctx, active); err != nil {
 			return fmt.Errorf("core: allocator LP: %w", err)
 		}
 		if err := evalCurrent(); err != nil {
@@ -173,8 +173,11 @@ func (in *Instance) optimizeAllocation(ctx context.Context, assignments []Assign
 //	min Σ k_i z_i,  k_i = (1−α)λ_i(r_i/R + c_i/C) − α p_i
 //	s.t. Σ z λ c ≤ C, Σ z r ≤ R, 0 ≤ z_i ≤ min(1, B r_i/(λ_i β_i)).
 //
-// It writes the solution into the states' z fields.
-func (in *Instance) solveZLP(active []*allocState) error {
+// It writes the solution into the states' z fields. The context bounds
+// the simplex run itself — at thousands of active tasks one LP call can
+// outlast any deadline by orders of magnitude, so cancellation between
+// alternation rounds alone would come far too late.
+func (in *Instance) solveZLP(ctx context.Context, active []*allocState) error {
 	n := len(active)
 	p := lp.Problem{C: make([]float64, n)}
 	computeRow := make([]float64, n)
@@ -209,7 +212,7 @@ func (in *Instance) solveZLP(active []*allocState) error {
 		p.A = append(p.A, row)
 		p.B = append(p.B, ub)
 	}
-	sol, err := lp.Solve(p)
+	sol, err := lp.SolveCtx(ctx, p)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"context"
+	"math"
+	"time"
+
+	"offloadnn/internal/tensor"
+)
+
+// approxShortlistK bounds the per-task candidate shortlist of the
+// approximate tier: only the K best-ranked (path × quality) decisions
+// survive to the packing pass.
+const approxShortlistK = 6
+
+// approxCand is one shortlisted decision with its precomputed minimal
+// latency-feasible slice.
+type approxCand struct {
+	v    Vertex
+	rLat int
+}
+
+// solveApproxCtx is the approximate admission tier: score-based path
+// ranking followed by greedy budget packing. It replaces the per-branch
+// (z, r) LP alternation with two linear passes —
+//
+//  1. Shortlist (parallel over tasks on the tensor pool): each task's
+//     feasible (path × quality) decisions are ranked by the same
+//     multi-key resource score that orders the exact tier's cliques —
+//     inference compute first, then training cost, memory and input
+//     bits (buildCliqueVertices) — with latency-infeasible decisions
+//     (no slack, or a minimal slice beyond the whole pool) dropped, and
+//     the K best kept.
+//  2. Packing (sequential, descending priority): each task takes its
+//     best-ranked shortlisted decision that fits the remaining memory
+//     and admits a positive ratio, with z clamped by the same
+//     constraints the exact allocator's LP rows encode: z ≤ remC/(λc),
+//     z ≤ B·r/(λβ) and z·r ≤ remRB. A decision is rejected when its
+//     marginal objective change is non-negative —
+//     (1−α)·(z·r/R + z·λc/C + Δct/Ct) − α·p·z ≥ 0, where Δct counts
+//     only blocks not already activated by higher-priority tasks — the
+//     greedy, sharing-aware mirror of the LP pricing a z_i out of the
+//     basis.
+//
+// Every admitted assignment satisfies (1b)–(1g) by construction, so the
+// result always passes Instance.Check. Complexity is O(T·paths) — no
+// LP, no alternation — which is why this tier holds an epoch deadline
+// at task counts where even the sharded heuristic cannot.
+func solveApproxCtx(ctx context.Context, in *Instance, spec SolverSpec) (*Solution, error) {
+	start := time.Now()
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	order := priorityOrder(in)
+	rPrice := float64(in.Res.PriceRBs())
+	cPrice := in.Res.PriceComputeSeconds()
+	ctPrice := in.Res.PriceTrainBudgetSeconds()
+
+	// Pass 1: per-task shortlists, fanned over the tensor pool. Each
+	// slot is written by exactly one goroutine and depends only on that
+	// task and the read-only catalog, so the result is deterministic at
+	// any worker count.
+	cands := make([][]approxCand, len(order))
+	tensor.ParallelFor(len(order), 16, spec.Workers, func(lo, hi int) {
+		for oi := lo; oi < hi; oi++ {
+			ti := order[oi]
+			task := &in.Tasks[ti]
+			bRate := in.Res.Capacity.BitsPerRBPerSecond(task.SNRdB)
+			if bRate <= 0 {
+				continue
+			}
+			list := make([]approxCand, 0, approxShortlistK)
+			for _, v := range buildCliqueVertices(in, ti) {
+				if v.Reject() {
+					continue
+				}
+				slack := task.MaxLatency.Seconds() - v.Compute
+				if slack <= 0 {
+					continue
+				}
+				rLat := int(math.Ceil(v.Bits/(bRate*slack) - 1e-12))
+				if rLat < 1 {
+					rLat = 1
+				}
+				if rLat > in.Res.RBs {
+					continue
+				}
+				list = append(list, approxCand{v: v, rLat: rLat})
+				if len(list) == approxShortlistK {
+					break
+				}
+			}
+			cands[oi] = list
+		}
+	})
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+
+	// Pass 2: greedy packing in descending priority with shared-block
+	// memory and training accounting.
+	state := newBranchState(in)
+	assignments := make([]Assignment, len(in.Tasks))
+	for i := range assignments {
+		assignments[i] = Assignment{TaskID: in.Tasks[i].ID}
+	}
+	remC := in.Res.ComputeSeconds
+	remRB := float64(in.Res.RBs)
+	for oi, ti := range order {
+		if oi&1023 == 0 {
+			if err := ctxErr(ctx); err != nil {
+				return nil, err
+			}
+		}
+		task := &in.Tasks[ti]
+		bRate := in.Res.Capacity.BitsPerRBPerSecond(task.SNRdB)
+		for _, c := range cands[oi] {
+			// Marginal deployment cost: only blocks no higher-ranked
+			// task has already activated.
+			var addMem, addCt float64
+			if c.v.Path != nil {
+				for _, id := range c.v.Path.Blocks {
+					if !state.active[id] {
+						addMem += in.BlockMemoryGB(id)
+						addCt += in.BlockTrainSeconds(id)
+					}
+				}
+			}
+			if state.memoryGB+addMem > in.Res.MemoryGB+1e-12 {
+				continue
+			}
+			r := c.rLat
+			if rFull := int(math.Ceil(task.Rate*c.v.Bits/bRate - 1e-12)); rFull > r {
+				r = rFull
+			}
+			z := 1.0
+			if demand := task.Rate * c.v.Compute; demand > 0 && remC < demand {
+				z = remC / demand
+			}
+			if lim := bRate * float64(r) / (task.Rate * c.v.Bits); lim < z {
+				z = lim
+			}
+			if remRB < z*float64(r) {
+				z = remRB / float64(r)
+			}
+			if z < zEps {
+				continue
+			}
+			if z > 1-1e-9 {
+				z = 1
+			}
+			net := -in.Alpha * task.Priority * z
+			if rPrice > 0 {
+				net += (1 - in.Alpha) * z * float64(r) / rPrice
+			}
+			if cPrice > 0 {
+				net += (1 - in.Alpha) * z * task.Rate * c.v.Compute / cPrice
+			}
+			if ctPrice > 0 {
+				net += (1 - in.Alpha) * addCt / ctPrice
+			}
+			if net >= 0 {
+				continue
+			}
+			state.push(c.v) // blocks stay active for later tasks
+			assignments[ti].Path = c.v.Path
+			assignments[ti].Quality = c.v.Quality
+			assignments[ti].Z = z
+			assignments[ti].RBs = r
+			remC -= z * task.Rate * c.v.Compute
+			remRB -= z * float64(r)
+			if remC < 0 {
+				remC = 0
+			}
+			if remRB < 0 {
+				remRB = 0
+			}
+			break
+		}
+	}
+	sol, err := in.newSolution(assignments, time.Since(start))
+	if err != nil {
+		return nil, err
+	}
+	sol.Tier = TierApprox
+	return sol, nil
+}

@@ -336,6 +336,7 @@ func (s *SolverSession) Resolve(ctx context.Context, delta TaskDelta) (*Solution
 	if err != nil {
 		return nil, err
 	}
+	sol.Tier = TierHeuristic
 	s.commit(sol)
 	return sol, nil
 }

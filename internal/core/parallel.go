@@ -90,6 +90,8 @@ func SolveOptimalParallelCtx(ctx context.Context, in *Instance, workers int) (*S
 		return nil, nil, fmt.Errorf("%w: no feasible branch", ErrNoFeasiblePath)
 	}
 	best.Runtime = time.Since(start)
+	best.Tier = TierOptimal
+	best.Stats = stats
 	return best, stats, nil
 }
 

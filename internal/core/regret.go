@@ -1,0 +1,79 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// TierRegret quantifies how much of the reference tier's solution
+// quality a candidate tier gives up on one instance — the
+// equivalence/regret harness behind the approximate tier's acceptance
+// bound (candidate weighted admission ≥ 0.95× the exact heuristic's on
+// the paper scenarios).
+type TierRegret struct {
+	// RefTier / CandTier are the tiers that actually produced the two
+	// solutions.
+	RefTier  Tier
+	CandTier Tier
+	// RefWeightedAdmission / CandWeightedAdmission are the Σ z·p of each
+	// solution (Fig. 8's left metric).
+	RefWeightedAdmission  float64
+	CandWeightedAdmission float64
+	// AdmissionRatio is candidate/reference weighted admission; 1 means
+	// parity, values above 1 mean the candidate admitted more weighted
+	// priority. Defined as 1 when the reference admits nothing.
+	AdmissionRatio float64
+	// RefCost / CandCost are the DOT objective values (lower is better).
+	RefCost  float64
+	CandCost float64
+	// CostRegret is CandCost − RefCost: the candidate's objective excess.
+	CostRegret float64
+	// RefRuntime / CandRuntime are the measured solve times.
+	RefRuntime  time.Duration
+	CandRuntime time.Duration
+	// Speedup is RefRuntime/CandRuntime; 0 when the candidate runtime
+	// was below the clock resolution.
+	Speedup float64
+}
+
+// CompareTiers solves the instance with a reference spec and a candidate
+// spec, verifies both solutions against every DOT constraint, and
+// reports the candidate's regret. Both solves see the same context (and
+// each spec's own Timeout, if set).
+func CompareTiers(ctx context.Context, in *Instance, ref, cand SolverSpec) (*TierRegret, error) {
+	refSol, err := SolveSpec(ctx, in, ref)
+	if err != nil {
+		return nil, fmt.Errorf("core: regret reference solve: %w", err)
+	}
+	if err := in.Check(refSol.Assignments); err != nil {
+		return nil, fmt.Errorf("core: regret reference solution infeasible: %w", err)
+	}
+	candSol, err := SolveSpec(ctx, in, cand)
+	if err != nil {
+		return nil, fmt.Errorf("core: regret candidate solve: %w", err)
+	}
+	if err := in.Check(candSol.Assignments); err != nil {
+		return nil, fmt.Errorf("core: regret candidate solution infeasible: %w", err)
+	}
+	r := &TierRegret{
+		RefTier:               refSol.Tier,
+		CandTier:              candSol.Tier,
+		RefWeightedAdmission:  refSol.Breakdown.WeightedAdmission,
+		CandWeightedAdmission: candSol.Breakdown.WeightedAdmission,
+		RefCost:               refSol.Cost,
+		CandCost:              candSol.Cost,
+		CostRegret:            candSol.Cost - refSol.Cost,
+		RefRuntime:            refSol.Runtime,
+		CandRuntime:           candSol.Runtime,
+	}
+	if r.RefWeightedAdmission > 0 {
+		r.AdmissionRatio = r.CandWeightedAdmission / r.RefWeightedAdmission
+	} else {
+		r.AdmissionRatio = 1
+	}
+	if candSol.Runtime > 0 {
+		r.Speedup = float64(refSol.Runtime) / float64(candSol.Runtime)
+	}
+	return r, nil
+}

@@ -111,5 +111,7 @@ func SolveOptimalCtx(ctx context.Context, in *Instance) (*Solution, *OptimalStat
 		return nil, nil, fmt.Errorf("%w: no feasible branch", ErrNoFeasiblePath)
 	}
 	best.Runtime = time.Since(start)
+	best.Tier = TierOptimal
+	best.Stats = stats
 	return best, stats, nil
 }

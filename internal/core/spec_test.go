@@ -1,0 +1,152 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestParseTierRoundTrip(t *testing.T) {
+	for _, tier := range []Tier{TierAuto, TierHeuristic, TierOptimal, TierApprox} {
+		got, err := ParseTier(tier.String())
+		if err != nil {
+			t.Fatalf("ParseTier(%q): %v", tier.String(), err)
+		}
+		if got != tier {
+			t.Fatalf("ParseTier(%q) = %v, want %v", tier.String(), got, tier)
+		}
+	}
+	for name, want := range map[string]Tier{
+		"":            TierAuto,
+		"  Exact ":    TierHeuristic,
+		"APPROXIMATE": TierApprox,
+		"Optimal":     TierOptimal,
+	} {
+		got, err := ParseTier(name)
+		if err != nil {
+			t.Fatalf("ParseTier(%q): %v", name, err)
+		}
+		if got != want {
+			t.Fatalf("ParseTier(%q) = %v, want %v", name, got, want)
+		}
+	}
+	if _, err := ParseTier("bogus"); err == nil {
+		t.Fatal("ParseTier(bogus) succeeded")
+	}
+	if s := Tier(99).String(); !strings.Contains(s, "99") {
+		t.Fatalf("Tier(99).String() = %q", s)
+	}
+}
+
+func TestEffectiveShards(t *testing.T) {
+	cases := []struct {
+		n, requested, want int
+	}{
+		{1, 0, 1},              // single task stays serial
+		{100, 1, 1},            // explicit serial
+		{100, 4, 4},            // explicit count
+		{3, 8, 3},              // clamped to task count
+		{100, 0, 1},            // below autoShardMin: auto stays serial
+		{autoShardMin, 0, 2},   // 256/128
+		{10000, 0, 79},         // ceil(10000/128)
+		{10000, 10001, 10000},  // clamp
+	}
+	for _, c := range cases {
+		if got := EffectiveShards(c.n, c.requested); got != c.want {
+			t.Errorf("EffectiveShards(%d, %d) = %d, want %d", c.n, c.requested, got, c.want)
+		}
+	}
+}
+
+// TestSolveSpecTierTagging checks that every tier routes through the
+// dispatcher, produces a feasible solution, and tags it with its tier.
+func TestSolveSpecTierTagging(t *testing.T) {
+	ctx := context.Background()
+	in := testInstance(6, 3, 1)
+	cases := []struct {
+		name string
+		spec SolverSpec
+		want Tier
+	}{
+		{"auto", SolverSpec{}, TierHeuristic},
+		{"heuristic-serial", SolverSpec{Tier: TierHeuristic, Shards: 1}, TierHeuristic},
+		{"heuristic-sharded", SolverSpec{Tier: TierHeuristic, Shards: 3}, TierHeuristic},
+		{"approx", SolverSpec{Tier: TierApprox}, TierApprox},
+	}
+	for _, c := range cases {
+		sol, err := SolveSpec(ctx, in, c.spec)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if sol.Tier != c.want {
+			t.Fatalf("%s: tier %v, want %v", c.name, sol.Tier, c.want)
+		}
+		if err := in.Check(sol.Assignments); err != nil {
+			t.Fatalf("%s: infeasible: %v", c.name, err)
+		}
+		if c.spec.Shards > 1 && sol.Shards != c.spec.Shards {
+			t.Fatalf("%s: recorded %d shards, want %d", c.name, sol.Shards, c.spec.Shards)
+		}
+	}
+
+	small := testInstance(3, 2, 1)
+	sol, err := SolveSpec(ctx, small, SolverSpec{Tier: TierOptimal, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Tier != TierOptimal || sol.Stats == nil {
+		t.Fatalf("optimal tier = %v, stats %v", sol.Tier, sol.Stats)
+	}
+
+	if _, err := SolveSpec(ctx, in, SolverSpec{Tier: Tier(99)}); err == nil {
+		t.Fatal("unknown tier accepted")
+	}
+}
+
+// TestShardedDeterministicAcrossWorkers proves the sharded heuristic is
+// bitwise-identical in the worker count: bands merge in band order, so
+// scheduling cannot leak into the solution.
+func TestShardedDeterministicAcrossWorkers(t *testing.T) {
+	ctx := context.Background()
+	in := testInstance(40, 3, 2)
+	base, err := SolveSpec(ctx, in, SolverSpec{Tier: TierHeuristic, Shards: 5, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 0} {
+		got, err := SolveSpec(ctx, in, SolverSpec{Tier: TierHeuristic, Shards: 5, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got.Cost != base.Cost {
+			t.Fatalf("workers=%d: objective %v != %v", workers, got.Cost, base.Cost)
+		}
+		for i := range got.Assignments {
+			a, b := got.Assignments[i], base.Assignments[i]
+			if a.Path != b.Path || a.Z != b.Z || a.RBs != b.RBs || a.Quality != b.Quality {
+				t.Fatalf("workers=%d: assignment %d differs: %+v vs %+v", workers, i, a, b)
+			}
+		}
+	}
+}
+
+// TestCompareTiersReport checks the regret harness solves both tiers,
+// verifies feasibility, and fills the ratio fields.
+func TestCompareTiersReport(t *testing.T) {
+	in := testInstance(10, 3, 3)
+	r, err := CompareTiers(context.Background(), in,
+		SolverSpec{Tier: TierHeuristic, Shards: 1},
+		SolverSpec{Tier: TierApprox})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RefTier != TierHeuristic || r.CandTier != TierApprox {
+		t.Fatalf("tiers: %v vs %v", r.RefTier, r.CandTier)
+	}
+	if r.RefWeightedAdmission <= 0 {
+		t.Fatalf("reference admitted nothing: %+v", r)
+	}
+	if r.AdmissionRatio <= 0 || r.AdmissionRatio > 1.5 {
+		t.Fatalf("implausible admission ratio %v", r.AdmissionRatio)
+	}
+}

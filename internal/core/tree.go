@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sort"
 	"time"
+
+	"offloadnn/internal/tensor"
 )
 
 // Vertex is one decision for a task: a feasible DNN path, or the implicit
@@ -60,12 +62,37 @@ func BuildTree(in *Instance) (*Tree, error) {
 	return buildTreeCtx(context.Background(), in)
 }
 
+// parallelTreeMin is the task count at which clique construction fans
+// out over the tensor worker pool. Below it the per-task work does not
+// amortize the pool handoff.
+const parallelTreeMin = 256
+
 // buildTreeCtx is BuildTree with cancellation checked between layers.
+// At parallelTreeMin tasks and beyond the per-task cliques are built
+// concurrently on the tensor worker pool: each layer's vertices depend
+// only on that task's fields and the shared (read-only) block catalog,
+// and every goroutine writes a distinct layer slot, so the result is
+// identical to the serial build at any pool size.
 func buildTreeCtx(ctx context.Context, in *Instance) (*Tree, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
 	order := priorityOrder(in)
+	if len(order) >= parallelTreeMin {
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
+		layers := make([]Clique, len(order))
+		tensor.ParallelFor(len(order), 16, 0, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				layers[i] = Clique{TaskIndex: order[i], Vertices: buildCliqueVertices(in, order[i])}
+			}
+		})
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
+		return &Tree{inst: in, Layers: layers}, nil
+	}
 	t := &Tree{inst: in, Layers: make([]Clique, 0, len(order))}
 	for _, ti := range order {
 		if err := ctxErr(ctx); err != nil {

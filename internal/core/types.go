@@ -321,6 +321,16 @@ type Solution struct {
 	Breakdown Breakdown
 	// Runtime of the solver call.
 	Runtime time.Duration
+	// Tier records which solver produced the solution (heuristic,
+	// optimal, approx). Zero (TierAuto) on solutions from custom solver
+	// callbacks that predate the tiered API.
+	Tier Tier
+	// Shards is the number of priority-band shards the weighted tree was
+	// split into; 0 or 1 means the solve was unsharded.
+	Shards int
+	// Stats carries search statistics for the optimal tier, nil
+	// otherwise.
+	Stats *OptimalStats
 }
 
 // Breakdown decomposes the objective value and records resource usage —

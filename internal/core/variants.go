@@ -105,7 +105,12 @@ func SolveOffloaDNNConfiguredCtx(ctx context.Context, in *Instance, cfg Heuristi
 	if err != nil {
 		return nil, err
 	}
-	return in.newSolution(assignments, time.Since(start))
+	sol, err := in.newSolution(assignments, time.Since(start))
+	if err != nil {
+		return nil, err
+	}
+	sol.Tier = TierHeuristic
+	return sol, nil
 }
 
 // reorderCliques re-sorts each clique per the requested order, keeping

@@ -14,6 +14,7 @@
 package lp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -62,6 +63,22 @@ type Solution struct {
 
 // Solve runs the two-phase simplex method.
 func Solve(p Problem) (*Solution, error) {
+	return SolveCtx(context.Background(), p)
+}
+
+// ctxCheckRows is the constraint count above which the simplex checks
+// the context on every pivot instead of every 64th: a pivot touches
+// O(rows × cols) tableau entries, so on large problems one pivot alone
+// can take a noticeable fraction of a second and the per-iteration
+// check is what keeps the cancellation lag to roughly one pivot.
+const ctxCheckRows = 256
+
+// SolveCtx is Solve with cancellation checked every few pivots. Large
+// problems (thousands of variables) can spend minutes inside a single
+// simplex run, far longer than the gaps between the allocator's own
+// context checks — this is what lets a solve deadline actually bound
+// the exact tiers at scale.
+func SolveCtx(ctx context.Context, p Problem) (*Solution, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -145,8 +162,17 @@ func Solve(p Problem) (*Solution, error) {
 
 	// runSimplex minimizes obj (length ncols cost vector) over the current
 	// tableau using Bland's rule; lim restricts entering columns to < lim.
+	checkEvery := 64
+	if m >= ctxCheckRows {
+		checkEvery = 1
+	}
 	runSimplex := func(obj []float64, lim int) error {
 		for iter := 0; iter < 10000*(m+ncols+1); iter++ {
+			if iter%checkEvery == 0 {
+				if err := ctx.Err(); err != nil {
+					return fmt.Errorf("lp: solve canceled: %w", err)
+				}
+			}
 			// Reduced costs: rc_j = obj_j - Σ_i obj_{basis[i]} · t[i][j].
 			entering := -1
 			for j := 0; j < lim; j++ {

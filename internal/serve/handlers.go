@@ -304,6 +304,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	}
 	body := map[string]any{
 		"status":               h.State.String(),
+		"solve_tier":           h.Tier,
 		"epoch":                h.Epoch,
 		"generation":           h.Generation,
 		"current":              h.Current,
@@ -345,8 +346,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "offloadnn_solve_errors_total %d\n", s.stats.SolveErrors())
 	family("offloadnn_solve_panics_total", "counter", "Solver panics recovered into solve errors.")
 	fmt.Fprintf(w, "offloadnn_solve_panics_total %d\n", s.stats.SolvePanics())
-	family("offloadnn_solve_duration_seconds", "gauge", "Duration of the most recent solve.")
+	family("offloadnn_solve_duration_seconds", "gauge", "Duration of the most recent solve, overall and per solver tier.")
 	fmt.Fprintf(w, "offloadnn_solve_duration_seconds %g\n", s.stats.LastSolveLatency().Seconds())
+	solveTiers := []core.Tier{core.TierHeuristic, core.TierOptimal, core.TierApprox}
+	for _, t := range solveTiers {
+		if s.stats.TierSolves(t) > 0 {
+			fmt.Fprintf(w, "offloadnn_solve_duration_seconds{tier=%q} %g\n", t.String(), s.stats.TierLastSolveLatency(t).Seconds())
+		}
+	}
+	family("offloadnn_solve_tier", "gauge", "Solver tier of the last published epoch, one-hot per tier.")
+	for _, t := range solveTiers {
+		fmt.Fprintf(w, "offloadnn_solve_tier{tier=%q} %d\n", t.String(), boolGauge(ep != nil && ep.Deployment != nil && ep.Tier == t))
+	}
+	family("offloadnn_solve_tier_total", "counter", "Published epochs per solver tier.")
+	for _, t := range solveTiers {
+		fmt.Fprintf(w, "offloadnn_solve_tier_total{tier=%q} %d\n", t.String(), s.stats.TierSolves(t))
+	}
 	h := s.Health()
 	family("offloadnn_health_state", "gauge", "Serving condition: 0 healthy, 1 degraded, 2 draining.")
 	fmt.Fprintf(w, "offloadnn_health_state %d\n", int(h.State))

@@ -42,6 +42,10 @@ type Health struct {
 	// first solve) and the registry state it was solved from.
 	Epoch      uint64
 	Generation uint64
+	// Tier names the solver tier that produced the published plan
+	// ("heuristic", "optimal", "approx"); empty before the first
+	// non-empty epoch.
+	Tier string
 	// Current reports whether the plan covers the latest registry
 	// generation.
 	Current bool
@@ -84,6 +88,9 @@ func (s *Server) Health() Health {
 		h.Epoch = ep.N
 		epGen = ep.Generation
 		published = ep.PublishedAt
+		if ep.Deployment != nil {
+			h.Tier = ep.Tier.String()
+		}
 	}
 	h.Current = ep != nil && epGen == gen
 	if gen > epGen {

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"runtime/debug"
@@ -34,6 +35,10 @@ type Epoch struct {
 	Deployment *edge.Deployment
 	// SolveLatency is how long the solve-and-deploy step took.
 	SolveLatency time.Duration
+	// Tier is the solver tier that produced the epoch's plan
+	// (core.TierAuto for an empty registry or a custom Solve strategy
+	// that does not tag its solutions).
+	Tier core.Tier
 	// PublishedAt is when the epoch was installed, on the resolver's
 	// clock; the health state machine ages the plan against it.
 	PublishedAt time.Time
@@ -118,6 +123,10 @@ type Resolver struct {
 	backoffBase  time.Duration
 	backoffMax   time.Duration
 	breakerN     int
+	// spec selects the epoch solver tier (Config.Solver); approxAfter is
+	// the auto tier's size-based escalation threshold (0 = disabled).
+	spec        core.SolverSpec
+	approxAfter int
 	// jitter draws the backoff jitter factor source in [0,1);
 	// injectable for deterministic schedule tests.
 	jitter func() float64
@@ -154,7 +163,21 @@ type Resolver struct {
 	// solveMu.
 	incremental bool
 	session     *core.SolverSession
+	// pressureLeft implements the auto tier's deadline-pressure
+	// hysteresis: an exact-tier solve that blows the epoch deadline sets
+	// it to pressureHold, each successful epoch decrements it, and while
+	// it is positive the auto tier runs the approximate solver. When it
+	// reaches zero the resolver probes the exact tier again — another
+	// deadline miss re-arms the hold, so a registry that stays too big
+	// for the exact tier costs one probe every pressureHold epochs
+	// instead of thrashing. Guarded by solveMu.
+	pressureLeft int
 }
+
+// pressureHold is how many successful epochs the auto tier stays on the
+// approximate solver after an exact-tier deadline miss before probing
+// the exact tier again.
+const pressureHold = 8
 
 // resolverParams carries the fault-tolerance knobs from Config into
 // newResolver without a ten-argument signature.
@@ -163,6 +186,8 @@ type resolverParams struct {
 	backoffBase  time.Duration
 	backoffMax   time.Duration
 	breakerN     int
+	spec         core.SolverSpec
+	approxAfter  int
 	faults       *faultinject.Injector
 	backend      exec.Backend
 	node         string
@@ -188,6 +213,8 @@ func newResolver(reg *Registry, ctrl *edge.Controller, res core.Resources, alpha
 		backoffBase:  p.backoffBase,
 		backoffMax:   p.backoffMax,
 		breakerN:     p.breakerN,
+		spec:         p.spec,
+		approxAfter:  p.approxAfter,
 		jitter:       rand.Float64,
 		kick:         make(chan struct{}, 1),
 		done:         make(chan struct{}),
@@ -352,6 +379,11 @@ func (r *Resolver) resolve(force bool) error {
 	} else {
 		dep, solved, err := r.produce(tasks, blocks)
 		if err != nil {
+			if r.solveTimeout > 0 && errors.Is(err, context.DeadlineExceeded) {
+				// The solve blew the epoch deadline: hold the auto tier on
+				// the approximate solver for the next pressureHold epochs.
+				r.pressureLeft = pressureHold
+			}
 			r.recordFailure(err)
 			return err
 		}
@@ -360,6 +392,7 @@ func (r *Resolver) resolve(force bool) error {
 		tasks = solved
 		ep.Tasks = solved
 		ep.Deployment = dep
+		ep.Tier = dep.Solution.Tier
 		// The predicted latencies are the unscaled planning costs — the
 		// same arithmetic the emulator and the simulated backend apply
 		// their factors to.
@@ -398,8 +431,32 @@ func (r *Resolver) resolve(force bool) error {
 	r.cur.Store(ep)
 	r.stats.solves.Add(1)
 	r.stats.lastSolveNanos.Store(int64(ep.SolveLatency))
+	if ep.Deployment != nil {
+		r.stats.recordSolveTier(ep.Tier, ep.SolveLatency)
+	}
+	if r.pressureLeft > 0 {
+		r.pressureLeft--
+	}
 	r.recordSuccess()
 	return nil
+}
+
+// pickTier resolves the configured solver spec against the registry
+// size: a pinned tier wins outright; the auto tier runs the exact
+// incremental heuristic while the registry is small and the solves hold
+// the deadline, and the approximate admission tier at approxAfter tasks
+// or under deadline pressure (see pressureLeft). Caller holds solveMu.
+func (r *Resolver) pickTier(n int) core.Tier {
+	if r.spec.Tier != core.TierAuto {
+		return r.spec.Tier
+	}
+	if r.approxAfter > 0 && n >= r.approxAfter {
+		return core.TierApprox
+	}
+	if r.pressureLeft > 0 {
+		return core.TierApprox
+	}
+	return core.TierHeuristic
 }
 
 // produce runs the solve-and-deploy step under panic isolation and the
@@ -435,7 +492,17 @@ func (r *Resolver) produce(tasks []core.Task, blocks map[string]core.BlockSpec) 
 			return nil, nil, err
 		}
 	}
-	if r.incremental && !r.breakerOpen.Load() {
+	if !r.incremental {
+		// A custom Config.Solve owns the strategy outright; tier
+		// selection does not apply.
+		dep, err = r.ctrl.AdmitCtx(ctx, tasks, blocks, r.alpha)
+		if err != nil {
+			return nil, nil, err
+		}
+		return dep, tasks, nil
+	}
+	tier := r.pickTier(len(tasks))
+	if tier == core.TierHeuristic && r.spec.Shards <= 1 && !r.breakerOpen.Load() {
 		dep, err := r.resolveIncremental(ctx, tasks, blocks)
 		if err != nil {
 			return nil, nil, err
@@ -444,11 +511,32 @@ func (r *Resolver) produce(tasks []core.Task, blocks map[string]core.BlockSpec) 
 		// tracks registration order); publish that order.
 		return dep, r.session.Tasks(), nil
 	}
-	dep, err = r.ctrl.AdmitCtx(ctx, tasks, blocks, r.alpha)
+	// Non-incremental tiers (approx, optimal, forced sharding, breaker
+	// fallback): a full solve through the tier dispatcher, deployed via
+	// the controller. The session, if any, stays cached for the next
+	// de-escalation back to the exact heuristic.
+	dep, err = r.resolveSpec(ctx, tier, tasks, blocks)
 	if err != nil {
 		return nil, nil, err
 	}
 	return dep, tasks, nil
+}
+
+// resolveSpec runs one full (non-incremental) admission round through
+// the tier dispatcher: build the instance from the registry snapshot,
+// solve it at the given tier with the configured spec knobs, and hand
+// the solution to the controller for checking, slicing and packaging.
+// Caller holds solveMu.
+func (r *Resolver) resolveSpec(ctx context.Context, tier core.Tier, tasks []core.Task, blocks map[string]core.BlockSpec) (*edge.Deployment, error) {
+	in := &core.Instance{Tasks: tasks, Blocks: blocks, Res: r.res, Alpha: r.alpha}
+	spec := r.spec
+	spec.Tier = tier
+	spec.Timeout = 0 // the epoch deadline is already on ctx
+	sol, err := core.SolveSpec(ctx, in, spec)
+	if err != nil {
+		return nil, err
+	}
+	return r.ctrl.Deploy(in, sol)
 }
 
 // SetNorm installs (or clears) the objective-pricing override of every

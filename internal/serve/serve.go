@@ -37,6 +37,21 @@ import (
 // tasks keep serving off the last epoch through the drain window.
 var ErrDraining = errors.New("serve: server is draining")
 
+// DefaultSolveTimeout is the per-epoch solve deadline applied when
+// Config.SolveTimeout is zero. Together with the tiered resolver it is
+// a completeness/latency contract: any registry the approximate tier
+// can pack inside this budget keeps publishing epochs, no matter how
+// far past the exact tiers' scale the task count grows.
+const DefaultSolveTimeout = 2 * time.Second
+
+// DefaultApproxAfter is the registry size at which an auto-tier
+// resolver switches from the exact heuristic to the approximate
+// admission tier. Below it the exact heuristic holds the default solve
+// deadline comfortably; above it the sharded heuristic still works but
+// the approximate tier buys an order of magnitude of headroom for the
+// same epoch cadence.
+const DefaultApproxAfter = 512
+
 // Config parameterizes a serving daemon.
 type Config struct {
 	// Res is the edge/radio capacity pool every epoch is solved against.
@@ -60,11 +75,27 @@ type Config struct {
 	// SolveTimeout bounds one epoch's solve-and-deploy step, enforced
 	// through a context composed with the resolver's shutdown context. A
 	// solve that overruns fails that epoch (the last-good plan keeps
-	// serving) and counts toward the failure backoff and breaker. Zero
-	// disables the deadline. With a custom non-context-aware Solve, a
-	// timed-out solve is abandoned in a goroutine that runs to
-	// completion with its result dropped.
+	// serving) and counts toward the failure backoff and breaker — and,
+	// on the auto tier, escalates the next epochs to the approximate
+	// solver. Zero applies DefaultSolveTimeout; negative disables the
+	// deadline. With a custom non-context-aware Solve, a timed-out solve
+	// is abandoned in a goroutine that runs to completion with its
+	// result dropped.
 	SolveTimeout time.Duration
+	// Solver selects the epoch solver tier and its knobs
+	// (core.SolverSpec). The zero value is core.TierAuto: the exact
+	// incremental heuristic while the registry is small and the solves
+	// hold the deadline, the approximate admission tier at ApproxAfter
+	// tasks or under deadline pressure. A non-auto Tier pins every epoch
+	// to that tier; Workers/Shards pass through to the sharded and
+	// parallel solvers. Spec.Timeout is ignored — SolveTimeout is the
+	// epoch deadline. Ignored entirely when Solve is set.
+	Solver core.SolverSpec
+	// ApproxAfter is the registry size at which an auto-tier resolver
+	// escalates to the approximate solver (default DefaultApproxAfter;
+	// negative disables size-based escalation, leaving only deadline
+	// pressure). Ignored when Solver.Tier is not core.TierAuto.
+	ApproxAfter int
 	// FailureBackoff is the delay before retrying after one failed
 	// re-solve; consecutive failures double it up to FailureBackoffMax,
 	// with ±20% jitter. Defaults: the debounce window and 5 s.
@@ -146,8 +177,20 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Catalog.NumDNNs == 0 {
 		cfg.Catalog = workload.SmallCatalogParams()
 	}
+	if cfg.SolveTimeout == 0 {
+		cfg.SolveTimeout = DefaultSolveTimeout
+	}
 	if cfg.SolveTimeout < 0 {
-		return nil, fmt.Errorf("serve: solve timeout %v must be non-negative", cfg.SolveTimeout)
+		cfg.SolveTimeout = 0 // explicit opt-out: no epoch deadline
+	}
+	if _, err := core.ParseTier(cfg.Solver.Tier.String()); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	if cfg.ApproxAfter == 0 {
+		cfg.ApproxAfter = DefaultApproxAfter
+	}
+	if cfg.ApproxAfter < 0 {
+		cfg.ApproxAfter = 0 // size-based escalation disabled
 	}
 	if cfg.FailureBackoff <= 0 {
 		cfg.FailureBackoff = cfg.Debounce
@@ -187,6 +230,8 @@ func New(cfg Config) (*Server, error) {
 			backoffBase:  cfg.FailureBackoff,
 			backoffMax:   cfg.FailureBackoffMax,
 			breakerN:     cfg.BreakerThreshold,
+			spec:         cfg.Solver,
+			approxAfter:  cfg.ApproxAfter,
 			faults:       cfg.Faults,
 			backend:      cfg.Backend,
 			node:         cfg.Node,

@@ -6,8 +6,13 @@ import (
 	"sync/atomic"
 	"time"
 
+	"offloadnn/internal/core"
 	"offloadnn/internal/metrics"
 )
+
+// tierSlots is the size of the per-tier stats arrays, indexed by
+// core.Tier (TierAuto..TierApprox).
+const tierSlots = int(core.TierApprox) + 1
 
 // taskCounters tallies the offload verdicts of one task.
 type taskCounters struct {
@@ -30,6 +35,10 @@ type Stats struct {
 	solveErrors    atomic.Uint64
 	solvePanics    atomic.Uint64
 	lastSolveNanos atomic.Int64
+	// Per-tier solve bookkeeping, indexed by core.Tier: how many epochs
+	// each solver tier produced and the duration of its most recent one.
+	tierSolves    [tierSlots]atomic.Uint64
+	tierLastNanos [tierSlots]atomic.Int64
 	latency        *metrics.Window
 	window         int
 
@@ -151,6 +160,33 @@ func (s *Stats) SolvePanics() uint64 { return s.solvePanics.Load() }
 // LastSolveLatency returns the duration of the most recent solve.
 func (s *Stats) LastSolveLatency() time.Duration {
 	return time.Duration(s.lastSolveNanos.Load())
+}
+
+// recordSolveTier counts a published epoch against the solver tier that
+// produced it.
+func (s *Stats) recordSolveTier(t core.Tier, d time.Duration) {
+	if i := int(t); i >= 0 && i < tierSlots {
+		s.tierSolves[i].Add(1)
+		s.tierLastNanos[i].Store(int64(d))
+	}
+}
+
+// TierSolves returns how many published epochs the given solver tier
+// produced.
+func (s *Stats) TierSolves(t core.Tier) uint64 {
+	if i := int(t); i >= 0 && i < tierSlots {
+		return s.tierSolves[i].Load()
+	}
+	return 0
+}
+
+// TierLastSolveLatency returns the duration of the tier's most recent
+// solve, zero when the tier has produced no epochs.
+func (s *Stats) TierLastSolveLatency(t core.Tier) time.Duration {
+	if i := int(t); i >= 0 && i < tierSlots {
+		return time.Duration(s.tierLastNanos[i].Load())
+	}
+	return 0
 }
 
 // Admitted returns a task's admitted-offload count.

@@ -95,13 +95,26 @@ type shardSpan struct{ lo, hi int }
 // produces the same work decomposition (and therefore the same
 // floating-point reduction groupings).
 func shardPlan(n, grain int) []shardSpan {
+	return shardPlanBounded(n, grain, Parallelism())
+}
+
+// shardPlanBounded is shardPlan with an explicit goroutine bound instead
+// of the pool-wide Parallelism(). workers <= 0 falls back to the
+// configured parallelism.
+func shardPlanBounded(n, grain, workers int) []shardSpan {
 	if n <= 0 {
 		return nil
 	}
 	if grain < 1 {
 		grain = 1
 	}
-	p := Parallelism()
+	p := workers
+	if p <= 0 {
+		p = Parallelism()
+	}
+	if p > maxPoolWorkers {
+		p = maxPoolWorkers
+	}
 	if max := (n + grain - 1) / grain; p > max {
 		p = max
 	}
@@ -152,4 +165,18 @@ func runShards(spans []shardSpan, fn func(si, lo, hi int)) {
 // shard) fn runs inline exactly once over the full range.
 func parallelFor(n, grain int, fn func(lo, hi int)) {
 	runShards(shardPlan(n, grain), func(_, lo, hi int) { fn(lo, hi) })
+}
+
+// ParallelFor runs fn over [0,n) split into contiguous shards of at
+// least grain elements each, using at most workers goroutines (the
+// caller's included; workers <= 0 uses the configured Parallelism()).
+// The shard boundaries depend only on (n, grain, workers), never on
+// scheduling, so callers that need deterministic work decomposition get
+// it at any pool size. fn must be a leaf: it must not call ParallelFor
+// or any parallel tensor kernel itself, or a pool worker could block on
+// shards queued behind it. This is the solver layer's entry point into
+// the tensor worker pool — clique construction and shard-level branch
+// search reuse the inference pool instead of spawning their own.
+func ParallelFor(n, grain, workers int, fn func(lo, hi int)) {
+	runShards(shardPlanBounded(n, grain, workers), func(_, lo, hi int) { fn(lo, hi) })
 }

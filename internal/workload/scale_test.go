@@ -1,0 +1,61 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestScaleScenarioShape(t *testing.T) {
+	in, err := ScaleScenario(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Tasks) != 1000 {
+		t.Fatalf("got %d tasks", len(in.Tasks))
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatalf("invalid instance: %v", err)
+	}
+	if in.Res.RBs != 3000 {
+		t.Fatalf("R = %d, want 3000", in.Res.RBs)
+	}
+	for i, task := range in.Tasks {
+		if len(task.Paths) == 0 {
+			t.Fatalf("task %d has no paths", i)
+		}
+		if task.Rate < 1 || task.Rate >= 3 {
+			t.Fatalf("task %d rate %v outside [1,3)", i, task.Rate)
+		}
+	}
+	if _, err := ScaleScenario(0); err == nil {
+		t.Fatal("ScaleScenario(0) succeeded")
+	}
+}
+
+// The scale scenario must be a pure function of the task count: serve
+// tests, benchmarks and the recorded BENCH_solver.json all assume two
+// builds of the same size are the same instance.
+func TestScaleScenarioDeterministic(t *testing.T) {
+	a, err := ScaleScenario(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ScaleScenario(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Res, b.Res) || a.Alpha != b.Alpha {
+		t.Fatal("resources differ between builds")
+	}
+	if len(a.Tasks) != len(b.Tasks) || len(a.Blocks) != len(b.Blocks) {
+		t.Fatal("sizes differ between builds")
+	}
+	for i := range a.Tasks {
+		at, bt := a.Tasks[i], b.Tasks[i]
+		if at.ID != bt.ID || at.Priority != bt.Priority || at.Rate != bt.Rate ||
+			at.MinAccuracy != bt.MinAccuracy || at.MaxLatency != bt.MaxLatency ||
+			len(at.Paths) != len(bt.Paths) {
+			t.Fatalf("task %d differs between builds", i)
+		}
+	}
+}

@@ -13,8 +13,15 @@
 // Basic use:
 //
 //	in, _ := offloadnn.SmallScenario(5)        // or build an Instance by hand
-//	sol, _ := offloadnn.Solve(in)              // the OffloaDNN heuristic
+//	sol, _ := offloadnn.Solve(ctx, in)         // the OffloaDNN heuristic
 //	for _, a := range sol.Assignments { ... }  // per-task z, path, RBs
+//
+// Solve takes functional options selecting a solver tier and its knobs:
+//
+//	offloadnn.Solve(ctx, in)                                  // auto: heuristic, sharded at scale
+//	offloadnn.Solve(ctx, in, offloadnn.WithTier(offloadnn.TierOptimal))
+//	offloadnn.Solve(ctx, in, offloadnn.WithTier(offloadnn.TierApprox))
+//	offloadnn.Solve(ctx, in, offloadnn.WithShards(1))         // force an unsharded solve
 //
 // The exhaustive benchmark solver, the SEM-O-RAN baseline, the edge
 // emulator and the experiment drivers for every figure and table of the
@@ -23,6 +30,7 @@ package offloadnn
 
 import (
 	"context"
+	"time"
 
 	"offloadnn/internal/core"
 	"offloadnn/internal/edge"
@@ -120,31 +128,119 @@ const (
 	LoadHigh   = workload.LoadHigh
 )
 
-// Solve runs the OffloaDNN heuristic (weighted tree, first branch,
-// per-branch convex allocation). Polynomial time: suitable for large
-// instances. Equivalent to SolveCtx with context.Background().
-func Solve(in *Instance) (*Solution, error) { return core.SolveOffloaDNN(in) }
+// Solver tiers behind the unified Solve API.
+type (
+	// Tier identifies a solver tier: the exact OffloaDNN heuristic
+	// (optionally sharded by priority band), the exhaustive optimal
+	// search, or the approximate admission tier.
+	Tier = core.Tier
+	// SolverSpec is the resolved configuration of a Solve call: tier,
+	// worker and shard counts, timeout, and heuristic ablation knobs.
+	SolverSpec = core.SolverSpec
+	// TierRegret quantifies a candidate tier's solution-quality loss
+	// against a reference tier on one instance.
+	TierRegret = core.TierRegret
+)
 
-// SolveCtx is Solve with cancellation: ctx is checked between tree layers
-// of the first-branch walk and between rounds of the allocation
-// alternation, so a canceled solve returns promptly with an error
-// wrapping ctx.Err().
+// Solver tiers for WithTier.
+const (
+	// TierAuto picks for you: the exact heuristic, sharded by priority
+	// band once the task count warrants it.
+	TierAuto = core.TierAuto
+	// TierHeuristic is the polynomial-time OffloaDNN heuristic.
+	TierHeuristic = core.TierHeuristic
+	// TierOptimal is the exhaustive (exponential) benchmark solver.
+	TierOptimal = core.TierOptimal
+	// TierApprox is the approximate admission tier: score-based path
+	// ranking with greedy budget packing — linear time, bounded regret.
+	TierApprox = core.TierApprox
+)
+
+// SolveOption configures a Solve call.
+type SolveOption func(*SolverSpec)
+
+// WithTier selects the solver tier (default TierAuto).
+func WithTier(t Tier) SolveOption { return func(s *SolverSpec) { s.Tier = t } }
+
+// WithWorkers bounds the goroutines a parallel tier may use, the
+// caller's included (<= 0 uses the tensor pool's parallelism).
+func WithWorkers(n int) SolveOption { return func(s *SolverSpec) { s.Workers = n } }
+
+// WithShards sets the heuristic tier's priority-band shard count: 1
+// forces a serial (unsharded) solve, 0 (the default) picks
+// automatically from the task count, >= 2 forces that many bands.
+func WithShards(n int) SolveOption { return func(s *SolverSpec) { s.Shards = n } }
+
+// WithTimeout bounds the solve independent of the caller's context.
+func WithTimeout(d time.Duration) SolveOption { return func(s *SolverSpec) { s.Timeout = d } }
+
+// WithHeuristic applies ablation knobs (clique ordering, binary
+// admission) to the heuristic tier.
+func WithHeuristic(cfg HeuristicConfig) SolveOption {
+	return func(s *SolverSpec) { s.Heuristic = cfg }
+}
+
+// WithSpec replaces the whole spec; later options still apply on top.
+func WithSpec(spec SolverSpec) SolveOption { return func(s *SolverSpec) { *s = spec } }
+
+// Solve solves a DOT instance. It is the single solver entry point:
+// options select the tier (exact heuristic, sharded parallel heuristic,
+// exhaustive optimal, approximate admission) and its knobs; the default
+// is TierAuto — the exact heuristic, sharded by priority band once the
+// task count warrants it. The returned Solution records the tier and
+// shard count that produced it, and Solution.Stats carries the search
+// statistics of optimal-tier solves.
+//
+// The former Solve(in)/SolveCtx/SolveOptimal/SolveOptimalCtx/
+// SolveOptimalParallel/SolveOptimalParallelCtx/SolveConfigured entry
+// points are thin deprecated wrappers over this function.
+func Solve(ctx context.Context, in *Instance, opts ...SolveOption) (*Solution, error) {
+	var spec SolverSpec
+	for _, o := range opts {
+		o(&spec)
+	}
+	return core.SolveSpec(ctx, in, spec)
+}
+
+// CompareTiers solves the instance with a reference and a candidate
+// spec, verifies both solutions against every DOT constraint, and
+// reports the candidate's regret — the harness bounding the approximate
+// tier's weighted-priority loss against the exact heuristic.
+func CompareTiers(ctx context.Context, in *Instance, ref, cand SolverSpec) (*TierRegret, error) {
+	return core.CompareTiers(ctx, in, ref, cand)
+}
+
+// SolveCtx runs the serial (unsharded) OffloaDNN heuristic.
+//
+// Deprecated: use Solve(ctx, in, WithShards(1)), or plain Solve(ctx, in)
+// to let large instances shard.
 func SolveCtx(ctx context.Context, in *Instance) (*Solution, error) {
-	return core.SolveOffloaDNNCtx(ctx, in)
+	return Solve(ctx, in, WithTier(TierHeuristic), WithShards(1))
 }
 
 // SolveOptimal exhaustively searches every tree branch — exponential in
-// the number of tasks; the benchmark for small instances. Equivalent to
-// SolveOptimalCtx with context.Background().
+// the number of tasks; the benchmark for small instances.
+//
+// Deprecated: use Solve(ctx, in, WithTier(TierOptimal), WithWorkers(1));
+// the search statistics are on Solution.Stats.
 func SolveOptimal(in *Instance) (*Solution, *OptimalStats, error) {
-	return core.SolveOptimal(in)
+	sol, err := Solve(context.Background(), in, WithTier(TierOptimal), WithWorkers(1))
+	if err != nil {
+		return nil, nil, err
+	}
+	return sol, sol.Stats, nil
 }
 
-// SolveOptimalCtx is SolveOptimal with cancellation checked between tree
-// layers of the exhaustive search — the long-running solver that most
-// needs a deadline.
+// SolveOptimalCtx is SolveOptimal with cancellation.
+//
+// Deprecated: use Solve(ctx, in, WithTier(TierOptimal), WithWorkers(1));
+// the search statistics are on Solution.Stats.
 func SolveOptimalCtx(ctx context.Context, in *Instance) (*Solution, *OptimalStats, error) {
-	return core.SolveOptimalCtx(ctx, in)
+	sol, err := Solve(ctx, in, WithTier(TierOptimal), WithWorkers(1))
+	if err != nil {
+		return nil, nil, err
+	}
+	return sol, sol.Stats, nil
 }
 
 // SolveSEMORAN runs the SEM-O-RAN baseline: binary admission maximizing
@@ -162,6 +258,13 @@ func Check(in *Instance, assignments []Assignment) error { return in.Check(assig
 // SmallScenario builds the paper's Table-IV small-scale instance with
 // 1..5 tasks (3 DNNs × 5 paths per task).
 func SmallScenario(tasks int) (*Instance, error) { return workload.SmallScenario(tasks) }
+
+// ScaleScenario builds a T-task instance for the solver-scale
+// experiments (1k–10k tasks): the small catalog's path grid per task
+// with deterministically jittered request-side fields and a resource
+// pool growing linearly with T, so contention stays meaningful at every
+// scale.
+func ScaleScenario(tasks int) (*Instance, error) { return workload.ScaleScenario(tasks) }
 
 // LargeScenario builds the paper's Table-IV large-scale instance: 20
 // tasks, 125 DNNs × 10 paths, at the given request-rate load.
@@ -216,9 +319,11 @@ const (
 )
 
 // SolveConfigured runs an OffloaDNN ablation variant (clique ordering,
-// binary admission).
+// binary admission), serially.
+//
+// Deprecated: use Solve(ctx, in, WithHeuristic(cfg), WithShards(1)).
 func SolveConfigured(in *Instance, cfg HeuristicConfig) (*Solution, error) {
-	return core.SolveOffloaDNNConfigured(in, cfg)
+	return Solve(context.Background(), in, WithTier(TierHeuristic), WithHeuristic(cfg), WithShards(1))
 }
 
 // PrivatizeBlocks returns a copy of the instance with all cross-task
@@ -296,15 +401,28 @@ func ChurnTimeline(p ChurnParams) ([]ChurnEvent, error) { return workload.ChurnT
 
 // SolveOptimalParallel is the exhaustive solver with the first tree layer
 // fanned out over a bounded worker pool (workers ≤ 0 = NumCPU).
+//
+// Deprecated: use Solve(ctx, in, WithTier(TierOptimal),
+// WithWorkers(workers)); the search statistics are on Solution.Stats.
 func SolveOptimalParallel(in *Instance, workers int) (*Solution, *OptimalStats, error) {
-	return core.SolveOptimalParallel(in, workers)
+	return SolveOptimalParallelCtx(context.Background(), in, workers)
 }
 
-// SolveOptimalParallelCtx is SolveOptimalParallel with cancellation
-// checked between first-layer branches and between layers within each
-// worker's subtree.
+// SolveOptimalParallelCtx is SolveOptimalParallel with cancellation.
+//
+// Deprecated: use Solve(ctx, in, WithTier(TierOptimal),
+// WithWorkers(workers)); the search statistics are on Solution.Stats.
 func SolveOptimalParallelCtx(ctx context.Context, in *Instance, workers int) (*Solution, *OptimalStats, error) {
-	return core.SolveOptimalParallelCtx(ctx, in, workers)
+	if workers == 1 {
+		// The bounded pool with one worker explores the same tree in the
+		// same order as the serial DFS; route it there directly.
+		workers = 0
+	}
+	sol, err := Solve(ctx, in, WithTier(TierOptimal), WithWorkers(workers))
+	if err != nil {
+		return nil, nil, err
+	}
+	return sol, sol.Stats, nil
 }
 
 // Incremental solving types.

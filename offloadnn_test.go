@@ -1,6 +1,7 @@
 package offloadnn
 
 import (
+	"context"
 	"testing"
 	"time"
 )
@@ -10,7 +11,7 @@ func TestPublicAPISolveSmallScenario(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol, err := Solve(in)
+	sol, err := Solve(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +35,7 @@ func TestPublicAPIOptimalAndBaseline(t *testing.T) {
 	if stats.BranchesExplored == 0 {
 		t.Fatal("no branches explored")
 	}
-	h, err := Solve(in)
+	h, err := Solve(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +70,7 @@ func TestPublicAPIHandBuiltInstance(t *testing.T) {
 			}},
 		}},
 	}
-	sol, err := Solve(in)
+	sol, err := Solve(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,171 @@
+package offloadnn
+
+// Solver-scale benchmark harness: BenchmarkEpochResolve10k times the
+// serving-path epoch the 10k-task acceptance bound is about, and
+// TestRecordSolverBench regenerates the checked-in BENCH_solver.json —
+// the tasks × tier × workers matrix behind the scale numbers quoted in
+// README.md and DESIGN.md §5i.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"testing"
+	"time"
+
+	"offloadnn/internal/core"
+	"offloadnn/internal/serve"
+	"offloadnn/internal/workload"
+)
+
+// BenchmarkEpochResolve10k times one full serving-path epoch over the
+// 10k-task scale scenario: auto tiering routes the solve to the
+// approximate tier, then the deployment swap and gate rebuild publish
+// it — the epoch loop edgeserve runs at fleet scale. Compare against
+// BenchmarkEpochResolve (20 tasks, exact heuristic).
+func BenchmarkEpochResolve10k(b *testing.B) {
+	in, err := workload.ScaleScenario(10000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := serve.New(serve.Config{
+		Res:      in.Res,
+		Alpha:    in.Alpha,
+		Debounce: time.Hour, // keep the background loop out of the measurement
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	if _, err := srv.ReplaceTasks(in.Tasks, in.Blocks, nil); err != nil {
+		b.Fatal(err)
+	}
+	if ep := srv.Current(); ep == nil || ep.Tier != core.TierApprox {
+		b.Fatalf("10k epoch did not route to the approx tier: %+v", ep)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := srv.ForceResolve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// solverBenchRun is one cell of the recorded tasks × tier × workers
+// matrix.
+type solverBenchRun struct {
+	Tasks   int     `json:"tasks"`
+	Tier    string  `json:"tier"`
+	Workers int     `json:"workers"`
+	Shards  int     `json:"shards"`
+	Seconds float64 `json:"seconds"`
+	// TimedOut marks a run that hit the recorder's deadline cap; its
+	// Seconds is a lower bound on the true solve time.
+	TimedOut          bool    `json:"timed_out,omitempty"`
+	Cost              float64 `json:"cost,omitempty"`
+	WeightedAdmission float64 `json:"weighted_admission,omitempty"`
+	AdmittedTasks     int     `json:"admitted_tasks,omitempty"`
+}
+
+// serialCap bounds the serial heuristic's recorder runs: cubic LP work
+// makes the unsharded solve intractable at 10k tasks, and capping it
+// keeps the recorder finite while still proving the ≥ 3× sharded
+// speedup (the cap itself is the serial lower bound).
+const serialCap = 10 * time.Second
+
+// TestRecordSolverBench regenerates BENCH_solver.json. Gated behind
+// OFFLOADNN_SOLVER_BENCH_OUT because a full matrix takes ~30 s of
+// wall-clock (the serial heuristic alone is ~9 s at 1k tasks):
+//
+//	OFFLOADNN_SOLVER_BENCH_OUT=BENCH_solver.json go test -run TestRecordSolverBench -count=1 .
+func TestRecordSolverBench(t *testing.T) {
+	out := os.Getenv("OFFLOADNN_SOLVER_BENCH_OUT")
+	if out == "" {
+		t.Skip("set OFFLOADNN_SOLVER_BENCH_OUT to record the solver scale matrix")
+	}
+	type cell struct {
+		tasks int
+		tier  string
+		spec  SolverSpec
+	}
+	var cells []cell
+	for _, tasks := range []int{1000, 10000} {
+		cells = append(cells,
+			cell{tasks, "serial", SolverSpec{Tier: TierHeuristic, Shards: 1}},
+			cell{tasks, "sharded", SolverSpec{Tier: TierHeuristic, Workers: 1}},
+			cell{tasks, "sharded", SolverSpec{Tier: TierHeuristic}},
+			cell{tasks, "approx", SolverSpec{Tier: TierApprox}},
+		)
+	}
+	runs := make([]solverBenchRun, 0, len(cells))
+	for _, c := range cells {
+		in, err := ScaleScenario(c.tasks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), serialCap)
+		start := time.Now()
+		sol, err := Solve(ctx, in, WithSpec(c.spec))
+		elapsed := time.Since(start)
+		cancel()
+		run := solverBenchRun{
+			Tasks:   c.tasks,
+			Tier:    c.tier,
+			Workers: c.spec.Workers,
+			Seconds: elapsed.Seconds(),
+		}
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			run.TimedOut = true
+		case err != nil:
+			t.Fatalf("%d tasks, %s: %v", c.tasks, c.tier, err)
+		default:
+			run.Shards = sol.Shards
+			run.Cost = sol.Cost
+			run.WeightedAdmission = sol.Breakdown.WeightedAdmission
+			run.AdmittedTasks = sol.Breakdown.AdmittedTasks
+		}
+		t.Logf("%5d tasks %-7s workers=%d: %v (timed_out=%v)", c.tasks, c.tier, c.spec.Workers, elapsed, run.TimedOut)
+		runs = append(runs, run)
+	}
+
+	// The headline number: sharded exact vs serial exact at 10k tasks.
+	// The serial run hits the cap, so the ratio is a lower bound.
+	var serial10k, sharded10k solverBenchRun
+	for _, r := range runs {
+		switch {
+		case r.Tasks == 10000 && r.Tier == "serial":
+			serial10k = r
+		case r.Tasks == 10000 && r.Tier == "sharded" && r.Workers == 0:
+			sharded10k = r
+		}
+	}
+	speedup := serial10k.Seconds / sharded10k.Seconds
+	if speedup < 3 {
+		t.Errorf("sharded speedup at 10k = %.1fx, want >= 3x", speedup)
+	}
+
+	doc := struct {
+		Benchmark string           `json:"benchmark"`
+		Runs      []solverBenchRun `json:"runs"`
+		Summary   map[string]any   `json:"summary"`
+	}{
+		Benchmark: "solver_scale",
+		Runs:      runs,
+		Summary: map[string]any{
+			"sharded_speedup_at_10k":             speedup,
+			"sharded_speedup_at_10k_lower_bound": serial10k.TimedOut,
+			"serial_cap_seconds":                 serialCap.Seconds(),
+		},
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s (sharded speedup at 10k: %.1fx, lower bound: %v)", out, speedup, serial10k.TimedOut)
+}
