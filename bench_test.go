@@ -273,18 +273,33 @@ func BenchmarkConv2D(b *testing.B) {
 }
 
 // BenchmarkMatMul sweeps square GEMM sizes across the small-matrix fast
-// path and the blocked kernel, at one worker and at the pool width.
+// path and the blocked kernel, at one worker and at the pool width, and
+// across the three kernel precisions (f64 interchange, f32 and i8
+// quantized — the speed ratios the solver's precision pricing encodes).
 func BenchmarkMatMul(b *testing.B) {
 	for _, n := range []int{32, 64, 128, 256} {
+		x := tensor.New(n, n)
+		y := tensor.New(n, n)
+		x.Fill(0.5)
+		y.Fill(0.25)
+		dst := tensor.New(n, n)
+		x32 := make([]float32, n*n)
+		y32 := make([]float32, n*n)
+		dst32 := make([]float32, n*n)
+		x8 := make([]int8, n*n)
+		y8 := make([]int8, n*n)
+		acc := make([]int32, n*n)
+		for i := range x32 {
+			x32[i] = float32(x.Data()[i])
+			y32[i] = float32(y.Data()[i])
+		}
+		tensor.QuantizeSymmetric(x8, x.Data(), tensor.SymmetricScale(x.Data()))
+		tensor.QuantizeSymmetric(y8, y.Data(), tensor.SymmetricScale(y.Data()))
 		for _, workers := range []int{1, 4} {
-			b.Run(fmt.Sprintf("n%d/workers%d", n, workers), func(b *testing.B) {
+			tag := fmt.Sprintf("n%d/workers%d", n, workers)
+			b.Run(tag+"/f64", func(b *testing.B) {
 				prev := tensor.SetParallelism(workers)
 				defer tensor.SetParallelism(prev)
-				x := tensor.New(n, n)
-				y := tensor.New(n, n)
-				x.Fill(0.5)
-				y.Fill(0.25)
-				dst := tensor.New(n, n)
 				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
@@ -293,12 +308,31 @@ func BenchmarkMatMul(b *testing.B) {
 					}
 				}
 			})
+			b.Run(tag+"/f32", func(b *testing.B) {
+				prev := tensor.SetParallelism(workers)
+				defer tensor.SetParallelism(prev)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					tensor.GemmF32(dst32, x32, y32, n, n, n)
+				}
+			})
+			b.Run(tag+"/i8", func(b *testing.B) {
+				prev := tensor.SetParallelism(workers)
+				defer tensor.SetParallelism(prev)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					tensor.GemmI8(acc, x8, y8, n, n, n)
+				}
+			})
 		}
 	}
 }
 
 // BenchmarkConv2DForward sweeps convolution shapes through the pooled
-// im2col + GEMM forward (batch > 1 shards across the worker pool).
+// im2col + GEMM forward (batch > 1 shards across the worker pool), at
+// each kernel precision.
 func BenchmarkConv2DForward(b *testing.B) {
 	cases := []struct{ n, ch, size int }{
 		{1, 16, 16},
@@ -307,16 +341,48 @@ func BenchmarkConv2DForward(b *testing.B) {
 		{8, 32, 32},
 	}
 	for _, c := range cases {
-		b.Run(fmt.Sprintf("n%d_c%d_s%d", c.n, c.ch, c.size), func(b *testing.B) {
-			p := tensor.Conv2DParams{InChannels: c.ch, OutChannels: 2 * c.ch, Kernel: 3, Stride: 1, Padding: 1}
-			x := tensor.New(c.n, c.ch, c.size, c.size)
-			w := tensor.New(2*c.ch, c.ch, 3, 3)
-			x.Fill(0.5)
-			w.Fill(0.1)
+		p := tensor.Conv2DParams{InChannels: c.ch, OutChannels: 2 * c.ch, Kernel: 3, Stride: 1, Padding: 1}
+		x := tensor.New(c.n, c.ch, c.size, c.size)
+		w := tensor.New(2*c.ch, c.ch, 3, 3)
+		x.Fill(0.5)
+		w.Fill(0.1)
+		w32, err := tensor.PrepareConvWeightsF32(w, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		w8, err := tensor.PrepareConvWeightsI8(w, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		xScale := tensor.SymmetricScale(x.Data())
+		tag := fmt.Sprintf("n%d_c%d_s%d", c.n, c.ch, c.size)
+		b.Run(tag+"/f64", func(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				y, err := tensor.Conv2D(x, w, nil, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tensor.Release(y)
+			}
+		})
+		b.Run(tag+"/f32", func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				y, err := tensor.Conv2DF32(x, w32, nil, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tensor.Release(y)
+			}
+		})
+		b.Run(tag+"/i8", func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				y, err := tensor.Conv2DI8(x, w8, nil, p, xScale)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -9,6 +9,7 @@
 //	dnnprofile -arch mobilenetv2
 //	dnnprofile -prune 0.8          # 80% structured pruning on all stages
 //	dnnprofile -width 32 -image 32 -repeats 11
+//	dnnprofile -precision i8       # time the quantized kernels
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 
 	"offloadnn/internal/dnn"
 	"offloadnn/internal/profile"
+	"offloadnn/internal/tensor"
 )
 
 func main() {
@@ -33,7 +35,14 @@ func run() int {
 	pruneRatio := flag.Float64("prune", 0, "structured prune ratio applied to all stages (0..0.95)")
 	repeats := flag.Int("repeats", 9, "timed repetitions per block (median reported)")
 	workers := flag.Int("workers", 1, "tensor parallelism during timing (1 = serial c(s) baseline)")
+	precision := flag.String("precision", "f64", "inference kernel precision: f64, f32 or i8")
 	flag.Parse()
+
+	prec, err := tensor.ParsePrecision(*precision)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dnnprofile:", err)
+		return 2
+	}
 
 	var m *dnn.Model
 	switch *arch {
@@ -60,14 +69,14 @@ func run() int {
 		return 2
 	}
 
-	p := profile.Profiler{ImageSize: *image, Repeats: *repeats, Warmup: 2, Workers: *workers}
+	p := profile.Profiler{ImageSize: *image, Repeats: *repeats, Warmup: 2, Workers: *workers, Precision: prec}
 	costs, err := p.ProfileModel(m)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dnnprofile:", err)
 		return 1
 	}
 
-	fmt.Printf("%s  width=%d  input=%dx%d  workers=%d  params=%d\n", *arch, *width, *image, *image, *workers, m.ParamCount())
+	fmt.Printf("%s  width=%d  input=%dx%d  workers=%d  precision=%s  params=%d\n", *arch, *width, *image, *image, *workers, prec, m.ParamCount())
 	fmt.Printf("%-24s %6s %14s %12s %10s\n", "block", "stage", "compute", "memory", "params")
 	for _, c := range costs {
 		fmt.Printf("%-24s %6d %14v %11.1fKB %10d\n",

@@ -29,6 +29,12 @@
 //
 //	edgeserve -backend real -batch-size 8 -batch-window 2ms -model-width 8 -input 8x8
 //
+// -precision adds quantized ("@f32"/"@i8") block variants to the catalog
+// as cheaper solver-priced options; with the real backend the chosen
+// kernels serve the path, guarded by an install-time accuracy gate:
+//
+//	edgeserve -backend real -precision f64,i8 -quant-gate 0.02
+//
 // Chaos runs arm fault-injection points (repeatable -fault flag):
 //
 //	edgeserve -fault solver.error:p=0.3                      # random solve failures
@@ -56,6 +62,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -66,6 +73,7 @@ import (
 	"offloadnn/internal/faultinject"
 	"offloadnn/internal/radio"
 	"offloadnn/internal/serve"
+	"offloadnn/internal/tensor"
 	"offloadnn/internal/workload"
 )
 
@@ -83,9 +91,11 @@ func run() int {
 	debounce := flag.Duration("debounce", 100*time.Millisecond, "churn batching window before a re-solve")
 	window := flag.Int("window", 4096, "latency quantile window (samples)")
 	catalog := flag.String("catalog", "small", "DNN catalog for submitted tasks: small|large")
+	precisionList := flag.String("precision", "f64", "comma-separated kernel-precision tiers the catalog offers: f64, f32, i8 (e.g. f64,i8; plain i8 quantizes every path)")
 	backendKind := flag.String("backend", "sim", "execution backend: sim (cost model) | real (tensor models)")
 	batchSize := flag.Int("batch-size", 8, "real backend: max requests per inference batch")
 	batchWindow := flag.Duration("batch-window", 2*time.Millisecond, "real backend: max wait for a partial batch")
+	quantGate := flag.Float64("quant-gate", 0, "real backend: max top-1 disagreement vs float64 before a quantized path is demoted a tier (0 = default 0.02, negative disables)")
 	modelWidth := flag.Int("model-width", 8, "real backend: base channel width of the model template")
 	inputShape := flag.String("input", "8x8", "real backend: input HxW (channels fixed at 3)")
 	solveTimeout := flag.Duration("solve-timeout", 0, "deadline for one epoch's solve (0 = default 2s, negative = unbounded)")
@@ -141,6 +151,16 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "edgeserve: unknown catalog %q (want small|large)\n", *catalog)
 		return 2
 	}
+	if *precisionList != "" && *precisionList != "f64" {
+		for _, name := range strings.Split(*precisionList, ",") {
+			name = strings.TrimSpace(name)
+			if _, err := tensor.ParsePrecision(name); err != nil {
+				fmt.Fprintln(os.Stderr, "edgeserve:", err)
+				return 2
+			}
+			params.Precisions = append(params.Precisions, workload.DefaultPrecisionSpec(name))
+		}
+	}
 
 	var backend exec.Backend
 	switch *backendKind {
@@ -159,6 +179,7 @@ func run() int {
 			Input:       [3]int{model.InChannels, h, w},
 			BatchSize:   *batchSize,
 			BatchWindow: *batchWindow,
+			QuantGate:   *quantGate,
 			Logf:        log.Printf,
 		})
 		if err != nil {

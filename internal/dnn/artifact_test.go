@@ -1,0 +1,142 @@
+package dnn
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"offloadnn/internal/tensor"
+)
+
+func artifactRoundTrip(t *testing.T, m *Model) (*Model, int64) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := SaveArtifact(&buf, m); err != nil {
+		t.Fatalf("save artifact: %v", err)
+	}
+	loaded, n, err := LoadArtifact(&buf)
+	if err != nil {
+		t.Fatalf("load artifact: %v", err)
+	}
+	return loaded, n
+}
+
+func TestArtifactRoundTripIdenticalForward(t *testing.T) {
+	m := BuildResNet18(DefaultResNetConfig())
+	loaded, n := artifactRoundTrip(t, m)
+	if loaded.Arch != m.Arch {
+		t.Fatalf("arch %q, want %q", loaded.Arch, m.Arch)
+	}
+	if want := int64(m.ParamCount()) * 8; n < want {
+		t.Fatalf("weight bytes %d < param bytes %d", n, want)
+	}
+	x := testInput(2, 3, 16, 99)
+	y1, err := m.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y2, err := loaded.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range y1.Data() {
+		if y1.Data()[i] != y2.Data()[i] {
+			t.Fatalf("forward differs at %d: %v vs %v", i, y1.Data()[i], y2.Data()[i])
+		}
+	}
+}
+
+// All tensors of a loaded artifact alias one decoded buffer: the very
+// first parameter's backing slice must extend (in capacity) to the end
+// of the whole weight section.
+func TestArtifactTensorsAliasOneBuffer(t *testing.T) {
+	m := BuildResNet18(DefaultResNetConfig())
+	loaded, n := artifactRoundTrip(t, m)
+	first := loaded.Blocks[0].Params()[0].Data()
+	if got, want := cap(first), int(n/8); got != want {
+		t.Fatalf("first tensor backing capacity %d, want full weight section %d", got, want)
+	}
+}
+
+// Blocks aliased in the saved model are aliased again after loading —
+// the artifact is the zero-copy shared-block deployment format.
+func TestArtifactPreservesBlockSharing(t *testing.T) {
+	m := BuildResNet18(DefaultResNetConfig())
+	dup := &Model{Arch: m.Arch, Blocks: append(append([]*Block{}, m.Blocks...), m.Blocks[1])}
+	loaded, _ := artifactRoundTrip(t, dup)
+	if len(loaded.Blocks) != len(dup.Blocks) {
+		t.Fatalf("%d blocks, want %d", len(loaded.Blocks), len(dup.Blocks))
+	}
+	if loaded.Blocks[1] != loaded.Blocks[len(loaded.Blocks)-1] {
+		t.Fatal("repeated block ID decoded into two instances, want one alias")
+	}
+}
+
+func TestArtifactPreservesPrecisionAndScales(t *testing.T) {
+	m := BuildResNet18(DefaultResNetConfig())
+	x := CalibrationBatch(4, 3, 16, 16, 11)
+	if err := Calibrate(m, x); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetPrecision(tensor.I8); err != nil {
+		t.Fatal(err)
+	}
+	loaded, _ := artifactRoundTrip(t, m)
+	for i, b := range loaded.Blocks {
+		if b.Precision() != tensor.I8 {
+			t.Fatalf("block %d precision %v, want i8", i, b.Precision())
+		}
+	}
+	y1, err := m.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y2, err := loaded.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range y1.Data() {
+		if y1.Data()[i] != y2.Data()[i] {
+			t.Fatalf("quantized forward differs at %d: %v vs %v", i, y1.Data()[i], y2.Data()[i])
+		}
+	}
+}
+
+func TestArtifactChecksumCorruptionRejected(t *testing.T) {
+	m := BuildResNet18(DefaultResNetConfig())
+	var buf bytes.Buffer
+	if err := SaveArtifact(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[len(raw)-5] ^= 0x40 // flip a bit inside the weights section
+	if _, _, err := LoadArtifact(bytes.NewReader(raw)); err == nil {
+		t.Fatal("corrupted artifact loaded without error")
+	} else if !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("corruption rejected with %v, want a checksum error", err)
+	}
+}
+
+func TestArtifactRejectsGarbage(t *testing.T) {
+	if _, _, err := LoadArtifact(bytes.NewReader([]byte("definitely not an artifact"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestArtifactLoadedModelMatchesGob(t *testing.T) {
+	m := BuildResNet18(DefaultResNetConfig())
+	gob := roundTrip(t, m)
+	art, _ := artifactRoundTrip(t, m)
+	gp, ap := gob.Blocks[1].Params(), art.Blocks[1].Params()
+	if len(gp) != len(ap) {
+		t.Fatalf("param count %d vs %d", len(gp), len(ap))
+	}
+	for i := range gp {
+		for j := range gp[i].Data() {
+			if math.Abs(gp[i].Data()[j]-ap[i].Data()[j]) > 0 {
+				t.Fatalf("param %d[%d] differs between codecs", i, j)
+			}
+		}
+	}
+}

@@ -51,6 +51,10 @@ type Block struct {
 	// fine-tuning of task-specific blocks.
 	Frozen bool
 
+	// precision is the inference kernel precision the block is deployed
+	// at (zero value F64). Managed by SetPrecision in precision.go.
+	precision tensor.Precision
+
 	layers []Layer
 }
 
@@ -131,12 +135,12 @@ func (b *Block) ParamCount() int {
 }
 
 // MemoryBytes estimates the deployed (inference) memory footprint of the
-// block: parameters stored as float32 plus a small per-layer bookkeeping
-// overhead, matching how the paper charges µ(s^d) per active block.
+// block: parameters at the block's deployed precision (float32-equivalent
+// for f64/f32, one byte per parameter for int8) plus a small per-layer
+// bookkeeping overhead, matching how the paper charges µ(s^d) per active
+// block.
 func (b *Block) MemoryBytes() int64 {
-	const (
-		bytesPerParam    = 4   // float32 deployment
-		perLayerOverhead = 256 // descriptors, shapes, buffers
-	)
-	return int64(b.ParamCount())*bytesPerParam + int64(len(b.layers))*perLayerOverhead
+	const perLayerOverhead = 256 // descriptors, shapes, buffers
+	return int64(b.ParamCount())*b.precision.DeployedBytesPerParam() +
+		int64(len(b.layers))*perLayerOverhead
 }

@@ -60,6 +60,15 @@ type ConvLayer struct {
 	dB     *tensor.Tensor
 	lastX  *tensor.Tensor
 	hasFwd bool
+
+	// prec selects the inference kernel; training always runs on the f64
+	// master weights. w32/w8 cache the prepared narrow weights and are
+	// rebuilt by SetPrecision whenever the precision or weights change.
+	prec     tensor.Precision
+	w32      *tensor.ConvWeightsF32
+	w8       *tensor.ConvWeightsI8
+	actScale float64 // calibrated activation scale; 0 = dynamic per image
+	calib    bool    // calibration pass: record ranges, run f64
 }
 
 // NewConvLayer constructs a Kaiming-initialized convolution.
@@ -81,8 +90,29 @@ func NewConvLayer(name string, p tensor.Conv2DParams, bias bool, rng *rand.Rand)
 // Name implements Layer.
 func (l *ConvLayer) Name() string { return l.name }
 
-// Forward implements Layer.
+// Forward implements Layer. At inference the layer dispatches to the
+// kernel of its configured precision; training (and calibration) always
+// runs the float64 master path.
 func (l *ConvLayer) Forward(x *tensor.Tensor, training bool) (*tensor.Tensor, error) {
+	if !training && !l.calib {
+		switch l.prec {
+		case tensor.F32:
+			y, err := tensor.Conv2DF32(x, l.w32, l.B, l.P)
+			if err != nil {
+				return nil, fmt.Errorf("conv %s: %w", l.name, err)
+			}
+			return y, nil
+		case tensor.I8:
+			y, err := tensor.Conv2DI8(x, l.w8, l.B, l.P, l.actScale)
+			if err != nil {
+				return nil, fmt.Errorf("conv %s: %w", l.name, err)
+			}
+			return y, nil
+		}
+	}
+	if l.calib {
+		l.observe(x)
+	}
 	y, err := tensor.Conv2D(x, l.W, l.B, l.P)
 	if err != nil {
 		return nil, fmt.Errorf("conv %s: %w", l.name, err)
@@ -399,6 +429,13 @@ type LinearLayer struct {
 	dW    *tensor.Tensor
 	dB    *tensor.Tensor
 	lastX *tensor.Tensor
+
+	// Reduced-precision inference state; see the ConvLayer fields.
+	prec     tensor.Precision
+	w32      *tensor.LinearWeightsF32
+	w8       *tensor.LinearWeightsI8
+	actScale float64
+	calib    bool
 }
 
 // NewLinearLayer constructs a Xavier-initialized fully connected layer.
@@ -417,8 +454,28 @@ func NewLinearLayer(name string, in, out int, rng *rand.Rand) *LinearLayer {
 // Name implements Layer.
 func (l *LinearLayer) Name() string { return l.name }
 
-// Forward implements Layer.
+// Forward implements Layer. Inference dispatches on the configured
+// precision like ConvLayer.Forward.
 func (l *LinearLayer) Forward(x *tensor.Tensor, training bool) (*tensor.Tensor, error) {
+	if !training && !l.calib {
+		switch l.prec {
+		case tensor.F32:
+			y, err := tensor.LinearF32(x, l.w32, l.B)
+			if err != nil {
+				return nil, fmt.Errorf("linear %s: %w", l.name, err)
+			}
+			return y, nil
+		case tensor.I8:
+			y, err := tensor.LinearI8(x, l.w8, l.B, l.actScale)
+			if err != nil {
+				return nil, fmt.Errorf("linear %s: %w", l.name, err)
+			}
+			return y, nil
+		}
+	}
+	if l.calib {
+		l.observe(x)
+	}
 	y, err := tensor.Linear(x, l.W, l.B)
 	if err != nil {
 		return nil, fmt.Errorf("linear %s: %w", l.name, err)

@@ -231,6 +231,22 @@ func DeployedMemoryBytes(models []*Model) int64 {
 	return total
 }
 
+// ParamsCompatible reports whether two blocks have identical parameter
+// tensor shapes — the CopyWeights precondition, and the adoption check
+// for zero-copy artifact blocks.
+func ParamsCompatible(a, b *Block) bool {
+	ap, bp := a.Params(), b.Params()
+	if len(ap) != len(bp) {
+		return false
+	}
+	for i := range ap {
+		if !ap[i].SameShape(bp[i]) {
+			return false
+		}
+	}
+	return true
+}
+
 // CopyWeights copies parameter values from src into dst. The two blocks
 // must have identical parameter shapes (i.e., same structure and widths).
 func CopyWeights(dst, src *Block) error {
@@ -248,6 +264,10 @@ func CopyWeights(dst, src *Block) error {
 	// Batch-norm running statistics are state, not parameters; copy them
 	// too so an evaluation-mode clone behaves identically.
 	copyRunningStats(dst, src)
+	// New master weights invalidate any prepared narrow-kernel caches.
+	if err := dst.refreshPrecision(); err != nil {
+		return fmt.Errorf("dnn: copy weights %s<-%s: %w", dst.ID, src.ID, err)
+	}
 	return nil
 }
 

@@ -27,6 +27,7 @@ type fileBlock struct {
 	Variant    int
 	PruneRatio float64
 	Frozen     bool
+	Precision  uint8 // deployed kernel precision; 0 = f64 (older files)
 	Layers     []fileLayer
 }
 
@@ -50,6 +51,7 @@ type fileConv struct {
 	In, Out, Kernel, Stride, Padding int
 	W                                []float64
 	B                                []float64 // nil = no bias
+	ActScale                         float64   // calibrated activation scale; 0 = uncalibrated
 }
 
 type fileBN struct {
@@ -63,8 +65,9 @@ type filePool struct {
 }
 
 type fileLinear struct {
-	In, Out int
-	W, B    []float64
+	In, Out  int
+	W, B     []float64
+	ActScale float64
 }
 
 type fileBasic struct {
@@ -127,6 +130,7 @@ func encodeBlock(b *Block) (fileBlock, error) {
 		Variant:    int(b.Variant),
 		PruneRatio: b.PruneRatio,
 		Frozen:     b.Frozen,
+		Precision:  uint8(b.precision),
 	}
 	for _, l := range b.layers {
 		fl, err := encodeLayer(l)
@@ -150,6 +154,12 @@ func decodeBlock(fb fileBlock) (*Block, error) {
 	b := NewBlock(fb.ID, fb.Stage, Variant(fb.Variant), layers...)
 	b.PruneRatio = fb.PruneRatio
 	b.Frozen = fb.Frozen
+	if fb.Precision != 0 {
+		// Rebuild the narrow weight caches the precision implies.
+		if err := b.SetPrecision(tensor.Precision(fb.Precision)); err != nil {
+			return nil, err
+		}
+	}
 	return b, nil
 }
 
@@ -157,7 +167,8 @@ func encodeConv(c *ConvLayer) *fileConv {
 	fc := &fileConv{
 		In: c.P.InChannels, Out: c.P.OutChannels,
 		Kernel: c.P.Kernel, Stride: c.P.Stride, Padding: c.P.Padding,
-		W: append([]float64(nil), c.W.Data()...),
+		W:        append([]float64(nil), c.W.Data()...),
+		ActScale: c.actScale,
 	}
 	if c.B != nil {
 		fc.B = append([]float64(nil), c.B.Data()...)
@@ -173,7 +184,7 @@ func decodeConv(name string, fc *fileConv) (*ConvLayer, error) {
 		InChannels: fc.In, OutChannels: fc.Out,
 		Kernel: fc.Kernel, Stride: fc.Stride, Padding: fc.Padding,
 	}
-	l := &ConvLayer{name: name, P: p}
+	l := &ConvLayer{name: name, P: p, actScale: fc.ActScale}
 	w, err := tensor.FromSlice(append([]float64(nil), fc.W...), fc.Out, fc.In, fc.Kernel, fc.Kernel)
 	if err != nil {
 		return nil, fmt.Errorf("conv %s weights: %w", name, err)
@@ -234,8 +245,9 @@ func encodeLayer(l Layer) (fileLayer, error) {
 	case *LinearLayer:
 		return fileLayer{Kind: "linear", Name: v.name, Linear: &fileLinear{
 			In: v.W.Dim(1), Out: v.W.Dim(0),
-			W: append([]float64(nil), v.W.Data()...),
-			B: append([]float64(nil), v.B.Data()...),
+			W:        append([]float64(nil), v.W.Data()...),
+			B:        append([]float64(nil), v.B.Data()...),
+			ActScale: v.actScale,
 		}}, nil
 	case *BasicBlock:
 		fb := &fileBasic{
@@ -283,8 +295,9 @@ func decodeLayer(fl fileLayer) (Layer, error) {
 		}
 		l := &LinearLayer{
 			name: fl.Name, W: w, B: bt,
-			dW: tensor.New(fl.Linear.Out, fl.Linear.In),
-			dB: tensor.New(fl.Linear.Out),
+			dW:       tensor.New(fl.Linear.Out, fl.Linear.In),
+			dB:       tensor.New(fl.Linear.Out),
+			actScale: fl.Linear.ActScale,
 		}
 		return l, nil
 	case "basic":

@@ -116,6 +116,74 @@ func (r *Repository) Load(name string) (*dnn.Model, error) {
 	return m, nil
 }
 
+// artifactPath is the on-disk location of a binary weight artifact.
+func (r *Repository) artifactPath(name string) string {
+	return filepath.Join(r.dir, name+".dnnw")
+}
+
+// StoreArtifact persists a model as a binary weight artifact (<name>.dnnw)
+// next to the gob store. Artifacts are the zero-copy deployment format:
+// LoadArtifact aliases all weights into one buffer. The in-memory cache is
+// updated like Store.
+func (r *Repository) StoreArtifact(name string, m *dnn.Model) error {
+	if err := validName(name); err != nil {
+		return err
+	}
+	if m == nil {
+		return fmt.Errorf("edge: nil model for %q", name)
+	}
+	if r.dir != "" {
+		f, err := os.CreateTemp(r.dir, name+".tmp*")
+		if err != nil {
+			return fmt.Errorf("edge: store artifact %q: %w", name, err)
+		}
+		tmp := f.Name()
+		if err := dnn.SaveArtifact(f, m); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("edge: store artifact %q: %w", name, err)
+		}
+		if err := f.Close(); err != nil {
+			os.Remove(tmp)
+			return fmt.Errorf("edge: store artifact %q: %w", name, err)
+		}
+		if err := os.Rename(tmp, r.artifactPath(name)); err != nil {
+			os.Remove(tmp)
+			return fmt.Errorf("edge: store artifact %q: %w", name, err)
+		}
+	}
+	r.mu.Lock()
+	r.models[name] = m
+	r.mu.Unlock()
+	return nil
+}
+
+// LoadArtifact loads a binary weight artifact by name, bypassing the
+// in-memory cache (each call builds a fresh single-buffer aliasing) and
+// reporting the weight section's resident bytes. Corrupted artifacts are
+// rejected by their per-block checksums.
+func (r *Repository) LoadArtifact(name string) (*dnn.Model, int64, error) {
+	if err := validName(name); err != nil {
+		return nil, 0, err
+	}
+	if r.dir == "" {
+		return nil, 0, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	f, err := os.Open(r.artifactPath(name))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, fmt.Errorf("%w: %q", ErrNotFound, name)
+		}
+		return nil, 0, fmt.Errorf("edge: load artifact %q: %w", name, err)
+	}
+	defer f.Close()
+	m, bytes, err := dnn.LoadArtifact(f)
+	if err != nil {
+		return nil, 0, fmt.Errorf("edge: load artifact %q: %w", name, err)
+	}
+	return m, bytes, nil
+}
+
 // Delete removes a model from memory and disk. Deleting an absent model
 // is a no-op.
 func (r *Repository) Delete(name string) error {
@@ -127,6 +195,9 @@ func (r *Repository) Delete(name string) error {
 	r.mu.Unlock()
 	if r.dir != "" {
 		if err := os.Remove(r.path(name)); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("edge: delete %q: %w", name, err)
+		}
+		if err := os.Remove(r.artifactPath(name)); err != nil && !os.IsNotExist(err) {
 			return fmt.Errorf("edge: delete %q: %w", name, err)
 		}
 	}

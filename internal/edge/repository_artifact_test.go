@@ -1,0 +1,92 @@
+package edge
+
+import (
+	"errors"
+	"os"
+	"testing"
+
+	"offloadnn/internal/tensor"
+)
+
+func TestRepositoryArtifactRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	r := NewRepository(dir)
+	m := testModel(3)
+	if err := r.StoreArtifact("resnet", m); err != nil {
+		t.Fatal(err)
+	}
+	loaded, bytes, err := r.LoadArtifact("resnet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(m.ParamCount()) * 8; bytes < want {
+		t.Fatalf("weight bytes %d < param bytes %d", bytes, want)
+	}
+	x := tensor.New(1, 3, 8, 8)
+	x.Fill(0.5)
+	y1, err := m.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y2, err := loaded.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range y1.Data() {
+		if y1.Data()[i] != y2.Data()[i] {
+			t.Fatalf("artifact forward differs at %d", i)
+		}
+	}
+	if _, _, err := r.LoadArtifact("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing artifact err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestRepositoryArtifactCorruptionRejected(t *testing.T) {
+	dir := t.TempDir()
+	r := NewRepository(dir)
+	if err := r.StoreArtifact("resnet", testModel(3)); err != nil {
+		t.Fatal(err)
+	}
+	path := r.artifactPath("resnet")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-3] ^= 0x10
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.LoadArtifact("resnet"); err == nil {
+		t.Fatal("corrupted artifact loaded without error")
+	}
+}
+
+func TestRepositoryDeleteRemovesArtifact(t *testing.T) {
+	dir := t.TempDir()
+	r := NewRepository(dir)
+	if err := r.StoreArtifact("resnet", testModel(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Delete("resnet"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(r.artifactPath("resnet")); !os.IsNotExist(err) {
+		t.Fatalf("artifact file survives delete: %v", err)
+	}
+}
+
+func TestRepositoryMemoryOnlyArtifact(t *testing.T) {
+	r := NewRepository("")
+	if err := r.StoreArtifact("resnet", testModel(3)); err != nil {
+		t.Fatal(err)
+	}
+	// Memory-only repositories cannot alias a file, but the model is
+	// cached for Load.
+	if _, err := r.Load("resnet"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.LoadArtifact("resnet"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("memory-only LoadArtifact err = %v, want ErrNotFound", err)
+	}
+}

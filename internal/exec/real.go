@@ -30,11 +30,25 @@ type RealConfig struct {
 	BatchWindow time.Duration
 	// Repo optionally supplies trained weights: a block whose mangled ID
 	// ('/' → '_') names a stored one-block model starts from those
-	// weights instead of the seeded initialization.
+	// weights instead of the seeded initialization. Binary weight
+	// artifacts (.dnnw) are preferred and adopted zero-copy; the gob
+	// store is the fallback.
 	Repo *edge.Repository
+	// QuantGate bounds the top-1 disagreement (fraction of the gate
+	// batch) a reduced-precision path may show against its float64 twin
+	// at install time before being demoted one precision tier (default
+	// 0.02; negative disables the gate).
+	QuantGate float64
+	// CalibBatch is the batch size of the deterministic calibration/gate
+	// input (default 8).
+	CalibBatch int
 	// Logf, when set, receives weight-loading diagnostics. Nil discards.
 	Logf func(string, ...any)
 }
+
+// calibSeed fixes the calibration/gate batch across processes so gate
+// verdicts are reproducible for a given catalog and weight set.
+const calibSeed = 20240131
 
 // blockInstance is one live shared block: the unit of the refcount that
 // operationalizes constraint (1b) — however many deployed paths (and
@@ -43,6 +57,9 @@ type blockInstance struct {
 	block *dnn.Block
 	stage int // 0 stem, 1..4 stages, 5 classifier
 	refs  int // models currently aliasing the instance
+	// weightBytes is the resident size of the artifact weight buffer the
+	// block aliases zero-copy; 0 for seeded or gob-copied weights.
+	weightBytes int64
 }
 
 // inferReq is one admitted request waiting in a model's batching queue.
@@ -63,8 +80,9 @@ type inferResp struct {
 type modelEntry struct {
 	sig   string
 	model *dnn.Model
-	keys  []string // library keys the model aliases (stem, stages, classifier)
-	refs  int      // tasks routed to the entry by the installed plan
+	keys  []string         // library keys the model aliases (stem, stages, classifier)
+	prec  tensor.Precision // kernel precision the path runs at (post-gate)
+	refs  int              // tasks routed to the entry by the installed plan
 	reqs  chan *inferReq
 	done  chan struct{} // closed when the entry is released
 }
@@ -87,10 +105,11 @@ type Real struct {
 	// atomically so Infer never takes mu.
 	routes atomic.Pointer[map[string]*modelEntry]
 
-	lastBatch atomic.Int64
-	batches   atomic.Int64
-	requests  atomic.Int64
-	wg        sync.WaitGroup
+	lastBatch      atomic.Int64
+	batches        atomic.Int64
+	requests       atomic.Int64
+	quantFallbacks atomic.Int64
+	wg             sync.WaitGroup
 }
 
 // NewReal constructs a tensor-backed backend; every Infer fails with
@@ -113,6 +132,12 @@ func NewReal(cfg RealConfig) (*Real, error) {
 	}
 	if cfg.BatchWindow <= 0 {
 		cfg.BatchWindow = 2 * time.Millisecond
+	}
+	if cfg.QuantGate == 0 {
+		cfg.QuantGate = 0.02
+	}
+	if cfg.CalibBatch <= 0 {
+		cfg.CalibBatch = 8
 	}
 	r := &Real{
 		cfg:    cfg,
@@ -161,54 +186,106 @@ func seedOf(id string) int64 {
 // on first reference. build runs with mu held (instantiation is part of
 // the epoch swap, not the request path). The returned instance has its
 // refcount untouched — retain/release manage it.
-func (r *Real) instantiate(key string, stage int, build func() (*dnn.Block, error)) (*blockInstance, error) {
+func (r *Real) instantiate(key string, stage int, build func() (*dnn.Block, int64, error)) (*blockInstance, error) {
 	if inst, ok := r.lib[key]; ok {
 		if inst.stage != stage {
 			return nil, fmt.Errorf("exec: block %q used at stage %d and %d", key, inst.stage, stage)
 		}
 		return inst, nil
 	}
-	b, err := build()
+	b, wb, err := build()
 	if err != nil {
 		return nil, err
 	}
-	inst := &blockInstance{block: b, stage: stage}
+	inst := &blockInstance{block: b, stage: stage, weightBytes: wb}
 	r.lib[key] = inst
 	return inst, nil
 }
 
-// stageBlock builds one catalog block as a template stage, loading
-// stored weights from the repository when available.
-func (r *Real) stageBlock(id string, stage int) (*dnn.Block, error) {
-	b, err := dnn.BuildStageBlock(r.cfg.Model, id, stage, pruneRatioOf(id), seedOf(id))
+// stageBlock builds one catalog block as a template stage. The precision
+// suffix ("@f32"/"@i8") is stripped before resolving seed, prune ratio
+// and repository weights, so precision variants of a block share the base
+// block's trained weights; the precision is then instantiated on the
+// finished block. A binary weight artifact, when stored for the base ID,
+// is adopted wholesale — its tensors alias one decoded buffer, so the
+// install copies no weights (the returned byte count is that buffer's
+// resident size); the gob store is the copying fallback.
+func (r *Real) stageBlock(id string, stage int) (*dnn.Block, int64, error) {
+	base, prec, err := dnn.BlockIDPrecision(id)
 	if err != nil {
-		return nil, fmt.Errorf("exec: block %q: %w", id, err)
+		return nil, 0, fmt.Errorf("exec: block %q: %w", id, err)
 	}
+	b, err := dnn.BuildStageBlock(r.cfg.Model, id, stage, pruneRatioOf(base), seedOf(base))
+	if err != nil {
+		return nil, 0, fmt.Errorf("exec: block %q: %w", id, err)
+	}
+	var artBytes int64
 	if r.cfg.Repo != nil {
-		if m, err := r.cfg.Repo.Load(mangleRepoName(id)); err == nil && len(m.Blocks) > 0 {
+		name := mangleRepoName(base)
+		if m, bytes, aerr := r.cfg.Repo.LoadArtifact(name); aerr == nil &&
+			len(m.Blocks) > 0 && dnn.ParamsCompatible(b, m.Blocks[0]) {
+			stored := m.Blocks[0]
+			stored.ID, stored.Stage = b.ID, b.Stage
+			stored.Variant, stored.PruneRatio, stored.Frozen = b.Variant, b.PruneRatio, b.Frozen
+			b, artBytes = stored, bytes
+		} else if m, lerr := r.cfg.Repo.Load(name); lerr == nil && len(m.Blocks) > 0 {
 			if err := dnn.CopyWeights(b, m.Blocks[0]); err != nil && r.cfg.Logf != nil {
 				r.cfg.Logf("exec: weights for %q ignored: %v", id, err)
 			}
 		}
 	}
-	return b, nil
+	if prec != tensor.F64 {
+		if err := b.SetPrecision(prec); err != nil {
+			return nil, 0, fmt.Errorf("exec: block %q: %w", id, err)
+		}
+	}
+	return b, artBytes, nil
+}
+
+// pathPrecisionOf is the precision variant a path's block IDs select
+// (catalog paths are precision-uniform, so the first suffixed block
+// decides).
+func pathPrecisionOf(blockIDs []string) tensor.Precision {
+	for _, id := range blockIDs {
+		if _, p, err := dnn.BlockIDPrecision(id); err == nil && p != tensor.F64 {
+			return p
+		}
+	}
+	return tensor.F64
 }
 
 // buildEntry assembles the model for a path, resolving (and creating on
-// demand) its shared block instances. mu held.
+// demand) its shared block instances. The path's precision variant also
+// keys the stem and classifier instances ("stem@i8", "classifier/32@i8"),
+// so the whole path runs at the chosen precision while the float64 stem
+// and classifier stay shareable by f64 paths. mu held.
 func (r *Real) buildEntry(sig string, blockIDs []string) (*modelEntry, error) {
+	pathPrec := pathPrecisionOf(blockIDs)
+	suffix := ""
+	if pathPrec != tensor.F64 {
+		suffix = "@" + pathPrec.String()
+	}
+	narrow := func(b *dnn.Block) (*dnn.Block, int64, error) {
+		if pathPrec != tensor.F64 {
+			if err := b.SetPrecision(pathPrec); err != nil {
+				return nil, 0, err
+			}
+		}
+		return b, 0, nil
+	}
 	keys := make([]string, 0, len(blockIDs)+2)
-	stem, err := r.instantiate("stem", 0, func() (*dnn.Block, error) {
-		return dnn.BuildStemBlock(r.cfg.Model), nil
+	stemKey := "stem" + suffix
+	stem, err := r.instantiate(stemKey, 0, func() (*dnn.Block, int64, error) {
+		return narrow(dnn.BuildStemBlock(r.cfg.Model))
 	})
 	if err != nil {
 		return nil, err
 	}
-	keys = append(keys, "stem")
+	keys = append(keys, stemKey)
 	stages := make([]*dnn.Block, 0, len(blockIDs))
 	for i, id := range blockIDs {
 		stage := min(i+1, 4)
-		inst, err := r.instantiate(id, stage, func() (*dnn.Block, error) {
+		inst, err := r.instantiate(id, stage, func() (*dnn.Block, int64, error) {
 			return r.stageBlock(id, stage)
 		})
 		if err != nil {
@@ -218,9 +295,9 @@ func (r *Real) buildEntry(sig string, blockIDs []string) (*modelEntry, error) {
 		stages = append(stages, inst.block)
 	}
 	featureDim := dnn.StageWidth(r.cfg.Model, len(blockIDs))
-	clsKey := "classifier/" + strconv.Itoa(featureDim)
-	cls, err := r.instantiate(clsKey, 5, func() (*dnn.Block, error) {
-		return dnn.BuildClassifierBlock(r.cfg.Model, featureDim), nil
+	clsKey := "classifier/" + strconv.Itoa(featureDim) + suffix
+	cls, err := r.instantiate(clsKey, 5, func() (*dnn.Block, int64, error) {
+		return narrow(dnn.BuildClassifierBlock(r.cfg.Model, featureDim))
 	})
 	if err != nil {
 		return nil, err
@@ -234,11 +311,103 @@ func (r *Real) buildEntry(sig string, blockIDs []string) (*modelEntry, error) {
 		sig:   sig,
 		model: model,
 		keys:  keys,
+		prec:  pathPrec,
 		reqs:  make(chan *inferReq, 4*r.cfg.BatchSize),
 		done:  make(chan struct{}),
 	}
 	return e, nil
 }
+
+// twinModel assembles the float64 twin of a path — the same base block
+// IDs resolve to the same seeds and stored weights, so the twin is the
+// accuracy reference the gate compares against. Twin instances go
+// through the regular library (a base block also deployed at f64 is
+// shared, not duplicated) and enter it unreferenced; pruneUnreferenced
+// at the end of Install drops the ones no deployed path retains. mu held.
+func (r *Real) twinModel(blockIDs []string) (*dnn.Model, error) {
+	stem, err := r.instantiate("stem", 0, func() (*dnn.Block, int64, error) {
+		return dnn.BuildStemBlock(r.cfg.Model), 0, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	stages := make([]*dnn.Block, 0, len(blockIDs))
+	for i, id := range blockIDs {
+		base, _, err := dnn.BlockIDPrecision(id)
+		if err != nil {
+			return nil, err
+		}
+		stage := min(i+1, 4)
+		inst, err := r.instantiate(base, stage, func() (*dnn.Block, int64, error) {
+			return r.stageBlock(base, stage)
+		})
+		if err != nil {
+			return nil, err
+		}
+		stages = append(stages, inst.block)
+	}
+	featureDim := dnn.StageWidth(r.cfg.Model, len(blockIDs))
+	cls, err := r.instantiate("classifier/"+strconv.Itoa(featureDim), 5, func() (*dnn.Block, int64, error) {
+		return dnn.BuildClassifierBlock(r.cfg.Model, featureDim), 0, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return dnn.AssemblePathModel("twin", stem.block, stages, cls.block)
+}
+
+// gateEntry enforces the calibration accuracy gate on a newly built
+// reduced-precision entry: the model's activation scales are calibrated
+// on a deterministic batch, then its top-1 agreement with the float64
+// twin is measured on the same batch. Disagreement above QuantGate
+// demotes every block of the path one precision tier (i8→f32→f64) and
+// rechecks; float64 always passes. Demotion is per-block state, so other
+// installed paths sharing a demoted block run the safer kernels too.
+// mu held.
+func (r *Real) gateEntry(e *modelEntry) error {
+	if e.prec == tensor.F64 || r.cfg.QuantGate < 0 {
+		return nil
+	}
+	twin, err := r.twinModel(e.sigBlocks())
+	if err != nil {
+		return fmt.Errorf("gate %s: %w", e.sig, err)
+	}
+	x := dnn.CalibrationBatch(r.cfg.CalibBatch, r.cfg.Input[0], r.cfg.Input[1], r.cfg.Input[2], calibSeed)
+	if err := dnn.Calibrate(e.model, x); err != nil {
+		return fmt.Errorf("gate %s: calibrate: %w", e.sig, err)
+	}
+	for {
+		delta, err := dnn.Top1Delta(e.model, twin, x)
+		if err != nil {
+			return fmt.Errorf("gate %s: %w", e.sig, err)
+		}
+		if delta <= r.cfg.QuantGate {
+			if r.cfg.Logf != nil {
+				r.cfg.Logf("exec: gate: path %s passes at %s (top-1 delta %.3f)", e.sig, e.prec, delta)
+			}
+			return nil
+		}
+		next := tensor.F32
+		if e.prec == tensor.F32 {
+			next = tensor.F64
+		}
+		if r.cfg.Logf != nil {
+			r.cfg.Logf("exec: gate: path %s top-1 delta %.3f > %.3f at %s, falling back to %s",
+				e.sig, delta, r.cfg.QuantGate, e.prec, next)
+		}
+		if err := e.model.SetPrecision(next); err != nil {
+			return fmt.Errorf("gate %s: demote: %w", e.sig, err)
+		}
+		e.prec = next
+		r.quantFallbacks.Add(1)
+		if next == tensor.F64 {
+			return nil
+		}
+	}
+}
+
+// sigBlocks recovers the path's block IDs from its signature.
+func (e *modelEntry) sigBlocks() []string { return strings.Split(e.sig, "|") }
 
 // Install implements Backend. The swap is warm: model entries (and the
 // block instances they alias) that survive from the previous plan are
@@ -284,6 +453,9 @@ func (r *Real) Install(plan *Plan) error {
 						return fail(fmt.Errorf("exec: install epoch %d: %w", plan.Epoch, err))
 					}
 					created = append(created, e)
+					if err := r.gateEntry(e); err != nil {
+						return fail(fmt.Errorf("exec: install epoch %d: %w", plan.Epoch, err))
+					}
 				}
 				e.refs = 0
 				desired[sig] = e
@@ -469,16 +641,25 @@ func (r *Real) Stats() Stats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	depth := 0
-	for _, e := range r.models {
+	precisions := make(map[string]string, len(r.models))
+	for sig, e := range r.models {
 		depth += len(e.reqs)
+		precisions[sig] = e.prec.String()
+	}
+	var weightBytes int64
+	for _, inst := range r.lib {
+		weightBytes += inst.weightBytes
 	}
 	return Stats{
-		Models:        len(r.models),
-		Blocks:        len(r.lib),
-		QueueDepth:    depth,
-		LastBatchSize: int(r.lastBatch.Load()),
-		Batches:       r.batches.Load(),
-		Requests:      r.requests.Load(),
+		Models:         len(r.models),
+		Blocks:         len(r.lib),
+		QueueDepth:     depth,
+		LastBatchSize:  int(r.lastBatch.Load()),
+		Batches:        r.batches.Load(),
+		Requests:       r.requests.Load(),
+		QuantFallbacks: r.quantFallbacks.Load(),
+		WeightBytes:    weightBytes,
+		PathPrecisions: precisions,
 	}
 }
 

@@ -30,6 +30,9 @@ type BlockCost struct {
 	MemoryBytes int64
 	// Params is the scalar parameter count.
 	Params int
+	// Precision is the kernel precision the measurement ran at
+	// ("f64", "f32" or "i8").
+	Precision string
 }
 
 // Profiler times blocks over dummy inputs.
@@ -46,6 +49,12 @@ type Profiler struct {
 	// tables stay comparable; larger values characterize the compute time
 	// an edge node with that many cores would observe.
 	Workers int
+	// Precision selects the inference kernels the measurement times (the
+	// zero value F64 keeps existing c(s) tables unchanged). The profiled
+	// model is instantiated at this precision in place, so per-precision
+	// c(s) rows for the solver's "@f32"/"@i8" block variants come from the
+	// same measurement procedure as the f64 baseline.
+	Precision tensor.Precision
 }
 
 // DefaultProfiler returns a configuration suitable for tests and the
@@ -67,6 +76,14 @@ func (p Profiler) ProfileModel(m *dnn.Model) ([]BlockCost, error) {
 	}
 	prev := tensor.SetParallelism(workers)
 	defer tensor.SetParallelism(prev)
+	if !p.Precision.Valid() {
+		return nil, fmt.Errorf("%w: invalid precision %d", ErrProfile, p.Precision)
+	}
+	if p.Precision != tensor.F64 {
+		if err := m.SetPrecision(p.Precision); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrProfile, err)
+		}
+	}
 	x := tensor.New(1, 3, p.ImageSize, p.ImageSize)
 	x.Fill(1)
 
@@ -102,6 +119,7 @@ func (p Profiler) ProfileModel(m *dnn.Model) ([]BlockCost, error) {
 			ComputeTime: samples[len(samples)/2],
 			MemoryBytes: b.MemoryBytes(),
 			Params:      b.ParamCount(),
+			Precision:   p.Precision.String(),
 		})
 		if out != x {
 			tensor.Release(x)

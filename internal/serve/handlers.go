@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"sort"
 	"strconv"
 	"time"
 
@@ -425,4 +426,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "offloadnn_backend_models %d\n", bs.Models)
 	family("offloadnn_backend_blocks", "gauge", "Live shared block instances in the execution backend.")
 	fmt.Fprintf(w, "offloadnn_backend_blocks %d\n", bs.Blocks)
+	if len(bs.PathPrecisions) > 0 {
+		family("offloadnn_model_precision", "gauge", "Kernel precision each deployed path runs at (post accuracy-gate), one series per path.")
+		sigs := make([]string, 0, len(bs.PathPrecisions))
+		for sig := range bs.PathPrecisions {
+			sigs = append(sigs, sig)
+		}
+		sort.Strings(sigs)
+		for _, sig := range sigs {
+			fmt.Fprintf(w, "offloadnn_model_precision{path=%q,precision=%q} 1\n", sig, bs.PathPrecisions[sig])
+		}
+	}
+	family("offloadnn_quant_fallback_total", "counter", "Precision-tier demotions applied by the install-time accuracy gate.")
+	fmt.Fprintf(w, "offloadnn_quant_fallback_total %d\n", bs.QuantFallbacks)
+	family("offloadnn_weights_mmap_bytes", "gauge", "Resident bytes of artifact weight buffers aliased zero-copy by live blocks.")
+	fmt.Fprintf(w, "offloadnn_weights_mmap_bytes %d\n", bs.WeightBytes)
 }

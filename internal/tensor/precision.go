@@ -1,0 +1,64 @@
+package tensor
+
+import "fmt"
+
+// Precision selects the arithmetic a kernel runs at. The engine's
+// interchange type stays dense float64 (every Tensor is f64, so layer
+// chaining, batch norm and the training path are untouched); reduced
+// precision lives inside the GEMM/Conv2D kernels, which convert
+// activations at their edges from typed scratch and hold pre-converted
+// weight images. F32 halves the memory traffic of the dominant kernels;
+// I8 runs symmetric-quantized integer GEMM with int32 accumulation and
+// per-output-channel weight scales, cutting traffic up to 8x.
+type Precision uint8
+
+// Precision tiers. The zero value is full float64 — existing code that
+// never mentions precision keeps its exact behavior.
+const (
+	F64 Precision = iota
+	F32
+	I8
+)
+
+// String implements fmt.Stringer using the catalog suffix spelling
+// ("f64", "f32", "i8").
+func (p Precision) String() string {
+	switch p {
+	case F64:
+		return "f64"
+	case F32:
+		return "f32"
+	case I8:
+		return "i8"
+	default:
+		return fmt.Sprintf("precision(%d)", uint8(p))
+	}
+}
+
+// ParsePrecision parses the String spelling of a precision tier.
+func ParsePrecision(s string) (Precision, error) {
+	switch s {
+	case "f64", "":
+		return F64, nil
+	case "f32":
+		return F32, nil
+	case "i8":
+		return I8, nil
+	default:
+		return F64, fmt.Errorf("tensor: unknown precision %q (want f64|f32|i8)", s)
+	}
+}
+
+// DeployedBytesPerParam is the per-parameter footprint a block deployed
+// at this precision is charged: int8 weights cost 1 byte, every float
+// tier costs 4 (the paper's cost tables charge float32 deployment even
+// for f64 compute, and the seed calibration depends on that).
+func (p Precision) DeployedBytesPerParam() int64 {
+	if p == I8 {
+		return 1
+	}
+	return 4
+}
+
+// Valid reports whether p is one of the defined tiers.
+func (p Precision) Valid() bool { return p <= I8 }

@@ -52,9 +52,54 @@ type CatalogParams struct {
 	// architecture family (e.g., "lite" for a MobileNetV2-class catalog);
 	// empty means the default ResNet-18 family.
 	Family string
+	// Precisions lists the kernel-precision tiers every block variant is
+	// offered at; empty means float64 only (the seed catalog, unchanged).
+	// Non-f64 tiers emit "@f32"/"@i8"-suffixed block and path IDs with
+	// compute/memory scaled by the tier's ratios and the tier's accuracy
+	// penalty subtracted — quantization as just another priced variant.
+	Precisions []PrecisionSpec
 	// Seed drives the deterministic jitter.
 	Seed int64
 }
+
+// PrecisionSpec prices one kernel-precision tier relative to the f64
+// baseline.
+type PrecisionSpec struct {
+	// Name is the tier's suffix spelling: "f64", "f32" or "i8".
+	Name string
+	// ComputeRatio scales c(s) (f32 ≈ 0.30, i8 ≈ 0.22 on the profiled
+	// AVX2 kernels).
+	ComputeRatio float64
+	// MemoryRatio scales µ(s) (i8 stores 1 byte/param vs the charged 4).
+	MemoryRatio float64
+	// AccuracyPenalty is subtracted from the path accuracy for every path
+	// deployed at the tier (quantization noise; the install-time gate
+	// enforces the real bound).
+	AccuracyPenalty float64
+}
+
+// DefaultPrecisionSpec returns the profiler-calibrated pricing of a tier.
+func DefaultPrecisionSpec(name string) PrecisionSpec {
+	switch name {
+	case "f32":
+		return PrecisionSpec{Name: "f32", ComputeRatio: 0.30, MemoryRatio: 1, AccuracyPenalty: 0.002}
+	case "i8":
+		return PrecisionSpec{Name: "i8", ComputeRatio: 0.22, MemoryRatio: 0.25, AccuracyPenalty: 0.01}
+	default:
+		return PrecisionSpec{Name: "f64", ComputeRatio: 1, MemoryRatio: 1}
+	}
+}
+
+// precisionTiers is the effective tier list (f64 only when unset).
+func (p CatalogParams) precisionTiers() []PrecisionSpec {
+	if len(p.Precisions) == 0 {
+		return []PrecisionSpec{DefaultPrecisionSpec("f64")}
+	}
+	return p.Precisions
+}
+
+// isF64 reports whether a tier is the baseline (emits unsuffixed IDs).
+func (ps PrecisionSpec) isF64() bool { return ps.Name == "" || ps.Name == "f64" }
 
 // SmallCatalogParams returns the 3-DNN × 5-path catalog of the small
 // scenario.
@@ -143,9 +188,12 @@ func (p CatalogParams) ftBlockID(taskID string, stage int, pruned bool) string {
 	return fmt.Sprintf("%s/%s/s%d", prefix, taskID, stage)
 }
 
-// registerBlocks ensures the blocks of a shape exist in the catalog and
-// returns the path's block IDs.
-func (p CatalogParams) registerBlocks(blocks map[string]core.BlockSpec, taskID string, sh pathShape) []string {
+// registerBlocks ensures the blocks of a shape exist in the catalog at
+// the given precision tier and returns the path's block IDs. A non-f64
+// tier registers "@<tier>"-suffixed variants with scaled compute and
+// memory; training cost is NOT scaled — the quantized variant shares the
+// tier-independent trained weights (post-training quantization).
+func (p CatalogParams) registerBlocks(blocks map[string]core.BlockSpec, taskID string, sh pathShape, ps PrecisionSpec) []string {
 	ids := make([]string, 0, 4)
 	for stage := 1; stage <= 4; stage++ {
 		shared := stage <= sh.sharedPrefix
@@ -182,6 +230,12 @@ func (p CatalogParams) registerBlocks(blocks map[string]core.BlockSpec, taskID s
 				TrainSeconds:   p.FtTrainPerStage * float64(stage),
 			}
 		}
+		if !ps.isF64() {
+			id += "@" + ps.Name
+			spec.ID = id
+			spec.ComputeSeconds *= ps.ComputeRatio
+			spec.MemoryGB *= ps.MemoryRatio
+		}
 		if _, ok := blocks[id]; !ok {
 			blocks[id] = spec
 		}
@@ -216,21 +270,30 @@ func (p CatalogParams) accuracy(taskIdx, d, j int, sh pathShape) float64 {
 // BuildPaths generates the candidate paths of one task over the whole DNN
 // catalog, registering any new blocks into the shared block map.
 func (p CatalogParams) BuildPaths(blocks map[string]core.BlockSpec, taskID string, taskIdx int) []core.PathSpec {
-	paths := make([]core.PathSpec, 0, p.NumDNNs*p.PathsPerDNN)
+	tiers := p.precisionTiers()
+	paths := make([]core.PathSpec, 0, p.NumDNNs*p.PathsPerDNN*len(tiers))
 	for d := 0; d < p.NumDNNs; d++ {
 		for j := 0; j < p.PathsPerDNN; j++ {
 			sh := shapeFor(d, j, p.PathsPerDNN)
-			ids := p.registerBlocks(blocks, taskID, sh)
 			dnnName := fmt.Sprintf("dnn-%d", d)
 			if p.Family != "" {
 				dnnName = fmt.Sprintf("%s-dnn-%d", p.Family, d)
 			}
-			paths = append(paths, core.PathSpec{
-				ID:       fmt.Sprintf("d%d/π%d", d, j),
-				DNN:      dnnName,
-				Blocks:   ids,
-				Accuracy: p.accuracy(taskIdx, d, j, sh),
-			})
+			for _, ps := range tiers {
+				ids := p.registerBlocks(blocks, taskID, sh, ps)
+				pathID := fmt.Sprintf("d%d/π%d", d, j)
+				acc := p.accuracy(taskIdx, d, j, sh)
+				if !ps.isF64() {
+					pathID += "@" + ps.Name
+					acc = math.Max(0, acc-ps.AccuracyPenalty)
+				}
+				paths = append(paths, core.PathSpec{
+					ID:       pathID,
+					DNN:      dnnName,
+					Blocks:   ids,
+					Accuracy: acc,
+				})
+			}
 		}
 	}
 	return paths
