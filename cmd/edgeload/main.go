@@ -19,6 +19,16 @@
 //
 //	edgeload -payload -input 8x8          # drive real inference end to end
 //
+// With -burst the arrival process spikes periodically — a flash crowd
+// at burst× the base rate for -burst-for out of every -burst-every —
+// and -deadline attaches an explicit per-request deadline (without it
+// the server derives one from the task's latency bound L_τ). 504
+// (deadline_exceeded) and 503 (overloaded) answers count as sheds, the
+// runtime's deliberate load shedding, and the payload report adds
+// client-side p50/p99 and deadline-hit-rate:
+//
+//	edgeload -payload -burst 10 -burst-every 3s -burst-for 1s -deadline 20ms
+//
 // With -cluster the loader drives an edgecluster coordinator instead:
 // 502/503 answers are counted as failover events rather than errors (a
 // member died and the re-placement is moving its tasks), client-side
@@ -52,16 +62,24 @@ type counts struct {
 	sent, ok, limited, missing, other int
 	failover                          int     // 502/503 answers in -cluster mode
 	badLogits                         int     // 200s with a missing/malformed logit vector
+	shedLate                          int     // 504 deadline_exceeded answers
+	shedOverload                      int     // 503 overloaded answers (standalone mode)
+	deadlined                         int     // 200s that carried a deadline budget
+	deadlineHits                      int     // ...answered within that budget, client-side
 	notified                          float64 // last admitted_rate the daemon reported
 	inferMS                           float64 // last measured inference latency
 }
 
 // loader is the shared HTTP client and result table.
 type loader struct {
-	base    string
-	client  *http.Client
-	payload []float64 // input tensor sent with each offload; nil = probe mode
-	cluster bool      // tolerate failover answers, record client latencies
+	base       string
+	client     *http.Client
+	payload    []float64 // input tensor sent with each offload; nil = probe mode
+	cluster    bool      // tolerate failover answers, record client latencies
+	deadlineMS float64   // per-request deadline override; 0 sends none (server applies L_τ)
+	burst      float64   // flash-crowd rate multiplier during spikes; ≤1 = steady arrivals
+	burstEvery time.Duration
+	burstFor   time.Duration
 
 	mu     sync.Mutex
 	byTask map[string]*counts
@@ -182,52 +200,92 @@ func (l *loader) clusterNodes() int {
 }
 
 // offloadLoop fires requests for one task at rate λ·scale until the
-// context ends.
+// context ends. With -burst armed, arrivals spike to λ·scale·burst for
+// burstFor out of every burstEvery — a periodic flash crowd over the
+// base rate.
 func (l *loader) offloadLoop(ctx context.Context, task core.Task, scale float64) {
-	period := time.Duration(float64(time.Second) / (task.Rate * scale))
-	ticker := time.NewTicker(period)
-	defer ticker.Stop()
+	begun := time.Now()
 	c := l.task(task.ID)
+	// Arrivals are open-loop: every tick fires its request concurrently,
+	// so a flash crowd lands as offered load instead of collapsing to
+	// one in-flight request per task. The in-flight bound caps the
+	// pile-up when the server falls far behind.
+	inflight := make(chan struct{}, 128)
+	var wg sync.WaitGroup
+	defer wg.Wait()
 	for {
+		mult := scale
+		if l.burst > 1 && l.burstEvery > 0 && time.Since(begun)%l.burstEvery < l.burstFor {
+			mult *= l.burst
+		}
+		period := time.Duration(float64(time.Second) / (task.Rate * mult))
 		select {
 		case <-ctx.Done():
 			return
-		case <-ticker.C:
+		case <-time.After(period):
 		}
-		var or serve.OffloadResponse
-		begun := time.Now()
-		status, err := l.postJSON("/v1/offload", serve.OffloadRequest{Task: task.ID, Input: l.payload}, &or)
-		elapsedMS := float64(time.Since(begun)) / float64(time.Millisecond)
-		l.mu.Lock()
-		c.sent++
-		if err == nil && l.cluster {
-			l.latMS = append(l.latMS, elapsedMS)
+		select {
+		case <-ctx.Done():
+			return
+		case inflight <- struct{}{}:
 		}
-		switch {
-		case err != nil:
-			c.other++
-		case l.cluster && (status == http.StatusBadGateway || status == http.StatusServiceUnavailable):
-			// A member died (or is draining) and the coordinator is
-			// re-placing its tasks; the next request lands on a survivor.
-			c.failover++
-		case status == http.StatusOK:
-			c.ok++
-			c.notified = or.AdmittedRate
-			if l.payload != nil {
-				c.inferMS = or.MeasuredLatencyMS
-				if !or.Simulated && !validLogits(or) {
-					c.badLogits++
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-inflight }()
+			l.offloadOnce(task.ID, c)
+		}()
+	}
+}
+
+// offloadOnce fires one offload request and records its verdict.
+func (l *loader) offloadOnce(taskID string, c *counts) {
+	var or serve.OffloadResponse
+	req := serve.OffloadRequest{Task: taskID, Input: l.payload, DeadlineMS: l.deadlineMS}
+	sentAt := time.Now()
+	status, err := l.postJSON("/v1/offload", req, &or)
+	elapsedMS := float64(time.Since(sentAt)) / float64(time.Millisecond)
+	l.mu.Lock()
+	c.sent++
+	if err == nil && (l.cluster || l.payload != nil) {
+		l.latMS = append(l.latMS, elapsedMS)
+	}
+	switch {
+	case err != nil:
+		c.other++
+	case l.cluster && (status == http.StatusBadGateway || status == http.StatusServiceUnavailable):
+		// A member died (or is draining) and the coordinator is
+		// re-placing its tasks; the next request lands on a survivor.
+		c.failover++
+	case status == http.StatusOK:
+		c.ok++
+		c.notified = or.AdmittedRate
+		if l.payload != nil {
+			c.inferMS = or.MeasuredLatencyMS
+			if !or.Simulated && !validLogits(or) {
+				c.badLogits++
+			}
+			if or.DeadlineMS > 0 {
+				c.deadlined++
+				if elapsedMS <= or.DeadlineMS {
+					c.deadlineHits++
 				}
 			}
-		case status == http.StatusTooManyRequests:
-			c.limited++
-		case status == http.StatusNotFound:
-			c.missing++
-		default:
-			c.other++
 		}
-		l.mu.Unlock()
+	case status == http.StatusGatewayTimeout:
+		// The runtime shed the request as already late: load shedding
+		// doing its job under pressure, not a client error.
+		c.shedLate++
+	case status == http.StatusServiceUnavailable:
+		c.shedOverload++
+	case status == http.StatusTooManyRequests:
+		c.limited++
+	case status == http.StatusNotFound:
+		c.missing++
+	default:
+		c.other++
 	}
+	l.mu.Unlock()
 }
 
 // validLogits checks an executed offload's model output: a non-empty,
@@ -271,15 +329,23 @@ func run() int {
 	seed := flag.Int64("seed", 1, "churn timeline seed")
 	payload := flag.Bool("payload", false, "send a real input tensor with each offload and validate the returned logits")
 	inputShape := flag.String("input", "8x8", "payload input HxW (channels fixed at 3; match edgeserve -input)")
+	deadline := flag.Duration("deadline", 0, "per-request deadline sent as deadline_ms (0 = server derives it from the task's latency bound)")
+	burst := flag.Float64("burst", 0, "flash-crowd arrival mode: rate multiplier applied during periodic spikes (<=1 disables)")
+	burstEvery := flag.Duration("burst-every", 5*time.Second, "spike period with -burst")
+	burstFor := flag.Duration("burst-for", 1*time.Second, "spike length with -burst")
 	clusterMode := flag.Bool("cluster", false, "drive an edgecluster coordinator: tolerate 502/503 failover, report client-side latency quantiles")
 	benchOut := flag.String("bench-out", "", "cluster mode: merge the run's results into this JSON benchmark file, keyed by cluster size")
 	flag.Parse()
 
 	l := &loader{
-		base:    *addr,
-		client:  &http.Client{Timeout: 5 * time.Second},
-		byTask:  make(map[string]*counts),
-		cluster: *clusterMode,
+		base:       *addr,
+		client:     &http.Client{Timeout: 5 * time.Second},
+		byTask:     make(map[string]*counts),
+		cluster:    *clusterMode,
+		deadlineMS: float64(*deadline) / float64(time.Millisecond),
+		burst:      *burst,
+		burstEvery: *burstEvery,
+		burstFor:   *burstFor,
 	}
 	if *payload {
 		var h, w int
@@ -407,17 +473,32 @@ func run() int {
 	sort.Strings(ids)
 	exit := 0
 	if l.payload != nil {
-		fmt.Printf("\n%-10s %6s %6s %6s %6s %6s %9s %14s %12s\n",
-			"task", "sent", "ok", "429", "404", "err", "badlogit", "notified(z·λ)", "infer(ms)")
+		fmt.Printf("\n%-10s %6s %6s %6s %6s %6s %6s %6s %9s %14s %12s\n",
+			"task", "sent", "ok", "429", "504", "503", "404", "err", "badlogit", "notified(z·λ)", "infer(ms)")
+		var deadlined, hits, shedLate, shedOverload int
 		for _, id := range ids {
 			c := l.byTask[id]
-			fmt.Printf("%-10s %6d %6d %6d %6d %6d %9d %14.2f %12.3f\n",
-				id, c.sent, c.ok, c.limited, c.missing, c.other, c.badLogits,
+			fmt.Printf("%-10s %6d %6d %6d %6d %6d %6d %6d %9d %14.2f %12.3f\n",
+				id, c.sent, c.ok, c.limited, c.shedLate, c.shedOverload, c.missing, c.other, c.badLogits,
 				c.notified, c.inferMS)
+			deadlined += c.deadlined
+			hits += c.deadlineHits
+			shedLate += c.shedLate
+			shedOverload += c.shedOverload
 			if c.other > 0 || c.badLogits > 0 {
 				exit = 1
 			}
 		}
+		// Client-side deadline accounting: served-within-budget over every
+		// deadline-carrying outcome (served or shed). Sheds are the
+		// runtime's deliberate misses, so they count in the denominator.
+		sort.Float64s(l.latMS)
+		fmt.Printf("\npayload: p50 %.2f ms, p99 %.2f ms", percentile(l.latMS, 0.50), percentile(l.latMS, 0.99))
+		if carried := deadlined + shedLate + shedOverload; carried > 0 {
+			fmt.Printf(", deadline-hit-rate %.3f (%d carried), shed late=%d overload=%d",
+				float64(hits)/float64(carried), carried, shedLate, shedOverload)
+		}
+		fmt.Println()
 	} else if l.cluster {
 		fmt.Printf("\n%-10s %6s %6s %6s %6s %9s %6s %14s %12s\n",
 			"task", "sent", "ok", "429", "404", "failover", "err", "notified(z·λ)", "achieved/s")

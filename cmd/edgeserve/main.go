@@ -35,6 +35,17 @@
 //
 //	edgeserve -backend real -precision f64,i8 -quant-gate 0.02
 //
+// The real backend's batching queues are deadline-aware (EDF) by
+// default: each executed offload carries a deadline derived from its
+// task's plan-time latency bound L_τ (overridable per request with
+// "deadline_ms"), already-late requests are shed with 504
+// deadline_exceeded, and a full intake queue sheds its latest-deadline
+// waiter with 503 overloaded. Sustained shedding degrades /healthz
+// until the spike drains. -sched fifo restores the fixed-window
+// baseline:
+//
+//	edgeserve -backend real -sched edf -queue-depth 64 -overload-after 10
+//
 // Chaos runs arm fault-injection points (repeatable -fault flag):
 //
 //	edgeserve -fault solver.error:p=0.3                      # random solve failures
@@ -95,6 +106,10 @@ func run() int {
 	backendKind := flag.String("backend", "sim", "execution backend: sim (cost model) | real (tensor models)")
 	batchSize := flag.Int("batch-size", 8, "real backend: max requests per inference batch")
 	batchWindow := flag.Duration("batch-window", 2*time.Millisecond, "real backend: max wait for a partial batch")
+	sched := flag.String("sched", "edf", "real backend: batching queue intake order: edf (deadline-aware) | fifo (fixed-window baseline)")
+	queueDepth := flag.Int("queue-depth", 0, "real backend: per-model intake queue bound before backpressure sheds the latest-deadline waiter (0 = 16x batch size, negative = unbounded)")
+	overloadWindow := flag.Duration("overload-window", 5*time.Second, "sliding window over backend sheds driving the overload health signal")
+	overloadAfter := flag.Int("overload-after", 10, "sheds inside the overload window before /healthz degrades (negative disables)")
 	quantGate := flag.Float64("quant-gate", 0, "real backend: max top-1 disagreement vs float64 before a quantized path is demoted a tier (0 = default 0.02, negative disables)")
 	modelWidth := flag.Int("model-width", 8, "real backend: base channel width of the model template")
 	inputShape := flag.String("input", "8x8", "real backend: input HxW (channels fixed at 3)")
@@ -172,6 +187,11 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "edgeserve: bad -input %q (want HxW, e.g. 8x8)\n", *inputShape)
 			return 2
 		}
+		pol, err := exec.ParseSched(*sched)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "edgeserve:", err)
+			return 2
+		}
 		model := dnn.DefaultResNetConfig()
 		model.BaseWidth = *modelWidth
 		be, err := exec.NewReal(exec.RealConfig{
@@ -180,6 +200,9 @@ func run() int {
 			BatchSize:   *batchSize,
 			BatchWindow: *batchWindow,
 			QuantGate:   *quantGate,
+			Sched:       pol,
+			QueueDepth:  *queueDepth,
+			Faults:      faults,
 			Logf:        log.Printf,
 		})
 		if err != nil {
@@ -187,8 +210,8 @@ func run() int {
 			return 2
 		}
 		backend = be
-		log.Printf("edgeserve: real backend (width=%d, input=3x%dx%d, batch=%d/%v)",
-			*modelWidth, h, w, *batchSize, *batchWindow)
+		log.Printf("edgeserve: real backend (width=%d, input=3x%dx%d, batch=%d/%v, sched=%s)",
+			*modelWidth, h, w, *batchSize, *batchWindow, pol)
 	default:
 		fmt.Fprintf(os.Stderr, "edgeserve: unknown backend %q (want sim|real)\n", *backendKind)
 		return 2
@@ -210,6 +233,8 @@ func run() int {
 		Solver:            core.SolverSpec{Tier: tier, Workers: *solverWorkers, Shards: *solverShards},
 		ApproxAfter:       *approxAfter,
 		StaleAfter:        *staleAfter,
+		OverloadWindow:    *overloadWindow,
+		OverloadAfter:     *overloadAfter,
 		FailureBackoff:    *backoff,
 		FailureBackoffMax: *backoffMax,
 		BreakerThreshold:  *breaker,

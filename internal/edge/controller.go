@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"offloadnn/internal/core"
 	"offloadnn/internal/faultinject"
@@ -34,6 +35,11 @@ type Deployment struct {
 	MemoryUsedGB float64
 	// AdmittedRates maps task ID to its notified admission rate z·λ.
 	AdmittedRates map[string]float64
+	// LatencyBounds maps each admitted task ID to its plan-time latency
+	// bound L_τ (core.Task.MaxLatency) — the budget the deadline-aware
+	// serving runtime derives per-request deadlines from. Zero entries
+	// (tasks registered without a bound) mean no deadline.
+	LatencyBounds map[string]time.Duration
 }
 
 // Controller is the OffloaDNN controller of Fig. 4. It owns the resource
@@ -153,6 +159,7 @@ func (c *Controller) deployLocked(in *core.Instance, sol *core.Solution) (*Deplo
 
 	slices := radio.NewSliceAllocator(c.res.RBs)
 	rates := make(map[string]float64)
+	bounds := make(map[string]time.Duration)
 	active := make(map[string]bool)
 	for i, a := range sol.Assignments {
 		if !a.Admitted() {
@@ -162,6 +169,7 @@ func (c *Controller) deployLocked(in *core.Instance, sol *core.Solution) (*Deplo
 			return nil, fmt.Errorf("%w: slice for %s: %v", ErrDeploy, a.TaskID, err)
 		}
 		rates[a.TaskID] = a.Z * in.Tasks[i].Rate
+		bounds[a.TaskID] = in.Tasks[i].MaxLatency
 		for _, b := range a.Path.Blocks {
 			active[b] = true
 		}
@@ -179,5 +187,6 @@ func (c *Controller) deployLocked(in *core.Instance, sol *core.Solution) (*Deplo
 		ActiveBlocks:  ids,
 		MemoryUsedGB:  mem,
 		AdmittedRates: rates,
+		LatencyBounds: bounds,
 	}, nil
 }

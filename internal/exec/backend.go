@@ -8,8 +8,12 @@
 //     block catalog, instantiating each shared block exactly once
 //     (refcounted across paths and epochs — the operational form of the
 //     paper's constraint (1b) memory sharing) and running admitted
-//     requests through size- and deadline-bounded per-model batching
-//     queues that feed dnn.Model.ForwardBatch.
+//     requests through per-model batching queues that feed
+//     dnn.Model.ForwardBatch. The queues are deadline-aware: intake is
+//     earliest-deadline-first, the batch window adapts to the tightest
+//     pending slack, already-late requests are shed before they enter a
+//     batch, and a bounded queue depth sheds the latest-deadline waiter
+//     under overload.
 //
 //   - Simulated answers with the deployment's planned cost model
 //     (edge.PlanCosts — the same arithmetic the Fig. 11 emulator and
@@ -46,6 +50,19 @@ var ErrReleased = errors.New("exec: model released by epoch swap")
 // ErrClosed reports use of a closed backend.
 var ErrClosed = errors.New("exec: backend closed")
 
+// ErrLate reports a request shed because its deadline had already passed
+// before it entered a batch: serving it would burn compute on a result
+// the caller's latency bound L_τ makes worthless, and drag every
+// co-batched request later. The serving layer maps it to a 504-style
+// envelope.
+var ErrLate = errors.New("exec: request past deadline, shed")
+
+// ErrQueueFull reports a request shed by overload backpressure: the
+// model's bounded intake queue was full and this request held the latest
+// deadline among the waiters (the least worth serving), so it was shed
+// rather than growing an unbounded backlog.
+var ErrQueueFull = errors.New("exec: batching queue full, shed")
+
 // Plan is one epoch's deployment handed to the backend: the task
 // snapshot the assignments are parallel to, the block catalog, the
 // resource pool and the controller's deployment. A nil Deployment (empty
@@ -65,6 +82,24 @@ type Plan struct {
 	Res core.Resources
 	// Deployment is the admission outcome; nil for an empty registry.
 	Deployment *edge.Deployment
+}
+
+// Request is one admitted offload handed to the backend: the task whose
+// deployed model should answer, the flattened input tensor, and the
+// caller's completion deadline.
+type Request struct {
+	// TaskID selects the deployed model (via the installed plan's
+	// task → path routing).
+	TaskID string
+	// Input is the flattened input tensor in the backend's InputShape
+	// order.
+	Input []float64
+	// Deadline is the wall-clock instant after which the result is
+	// worthless — the serving layer derives it from the task's plan-time
+	// latency bound L_τ (optionally overridden per request). The zero
+	// time means no deadline: the request is never shed for lateness and
+	// sorts after every deadline-carrying request in EDF intake order.
+	Deadline time.Time
 }
 
 // Output is the result of one executed offload.
@@ -101,6 +136,34 @@ type Stats struct {
 	// achieved average batch size.
 	Batches  int64
 	Requests int64
+	// ShedLate counts requests shed because their deadline had already
+	// passed before they entered a batch (ErrLate).
+	ShedLate int64
+	// ShedQueueFull counts requests shed by bounded-queue backpressure
+	// (ErrQueueFull) — the latest-deadline waiter when a queue overflows.
+	ShedQueueFull int64
+	// ShedCanceled counts requests whose caller disconnected (context
+	// canceled) after enqueue: their compute is skipped when the
+	// cancellation is seen before batch assembly, and their result copy
+	// is skipped when it is seen after execution.
+	ShedCanceled int64
+	// DeadlineHits and DeadlineMisses count deadline-carrying requests by
+	// outcome: a request served at or before its deadline is a hit; one
+	// served late, or shed for lateness or backpressure, is a miss.
+	// DeadlineHits/(DeadlineHits+DeadlineMisses) is the deadline hit
+	// ratio exported on /metrics.
+	DeadlineHits   int64
+	DeadlineMisses int64
+	// QueueSlack maps each deployed path signature to the tightest
+	// remaining slack (earliest waiter deadline minus now) in its intake
+	// queue; negative when an already-late request is waiting. Paths with
+	// no deadline-carrying waiters are absent. Nil for backends without
+	// batching queues.
+	QueueSlack map[string]time.Duration
+	// LastWindow is the batch window most recently applied by an
+	// adaptive-window executor: BatchWindow when slack is plentiful,
+	// shrunk toward zero under deadline pressure.
+	LastWindow time.Duration
 	// QuantFallbacks counts reduced-precision paths the install-time
 	// accuracy gate demoted a tier (i8→f32 or f32→f64). Each demotion
 	// step of each gated path counts once.
@@ -126,8 +189,12 @@ type Backend interface {
 	// previous epoch and releasing the rest. An error leaves the
 	// previous plan in place.
 	Install(plan *Plan) error
-	// Infer runs one input through the model deployed for the task.
-	Infer(ctx context.Context, taskID string, input []float64) (Output, error)
+	// Infer runs one request's input through the model deployed for its
+	// task, honoring the request deadline: a deadline-aware backend
+	// orders intake earliest-deadline-first and sheds requests that are
+	// already late (ErrLate) or squeezed out by backpressure
+	// (ErrQueueFull) instead of serving stale results.
+	Infer(ctx context.Context, req Request) (Output, error)
 	// InputShape returns the expected per-request input shape (C, H, W),
 	// or nil when the backend accepts any input (Simulated).
 	InputShape() []int

@@ -108,7 +108,7 @@ func TestSharedBlockSingleInstance(t *testing.T) {
 	}
 	// Both tasks answer through their (distinct) models.
 	for _, id := range []string{"t1", "t2"} {
-		out, err := r.Infer(context.Background(), id, input(r))
+		out, err := r.Infer(context.Background(), exec.Request{TaskID: id, Input: input(r)})
 		if err != nil {
 			t.Fatalf("infer %s: %v", id, err)
 		}
@@ -164,10 +164,10 @@ func TestEpochSwapReleasesUnreferencedBlocks(t *testing.T) {
 	if refs["base/s1"] != 1 {
 		t.Fatalf("shared block refs after swap = %d, want 1", refs["base/s1"])
 	}
-	if _, err := r.Infer(context.Background(), "t2", input(r)); !errors.Is(err, exec.ErrNoModel) {
+	if _, err := r.Infer(context.Background(), exec.Request{TaskID: "t2", Input: input(r)}); !errors.Is(err, exec.ErrNoModel) {
 		t.Fatalf("infer for dropped task: %v, want ErrNoModel", err)
 	}
-	if _, err := r.Infer(context.Background(), "t1", input(r)); err != nil {
+	if _, err := r.Infer(context.Background(), exec.Request{TaskID: "t1", Input: input(r)}); err != nil {
 		t.Fatalf("surviving task broken by swap: %v", err)
 	}
 }
@@ -202,7 +202,7 @@ func TestBatchingDeterministic(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			out, err := r.Infer(context.Background(), "t1", in)
+			out, err := r.Infer(context.Background(), exec.Request{TaskID: "t1", Input: in})
 			if err != nil {
 				t.Errorf("infer %d: %v", i, err)
 				return
@@ -241,18 +241,18 @@ func TestBatchingDeterministic(t *testing.T) {
 
 func TestInferErrors(t *testing.T) {
 	r := newReal(t, exec.RealConfig{})
-	if _, err := r.Infer(context.Background(), "t1", input(r)); !errors.Is(err, exec.ErrNoModel) {
+	if _, err := r.Infer(context.Background(), exec.Request{TaskID: "t1", Input: input(r)}); !errors.Is(err, exec.ErrNoModel) {
 		t.Fatalf("infer before install: %v, want ErrNoModel", err)
 	}
 	if err := r.Install(planFor(1, map[string][]string{"t1": {"base/s1"}})); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.Infer(context.Background(), "t1", []float64{1, 2, 3}); !errors.Is(err, exec.ErrBadInput) {
+	if _, err := r.Infer(context.Background(), exec.Request{TaskID: "t1", Input: []float64{1, 2, 3}}); !errors.Is(err, exec.ErrBadInput) {
 		t.Fatalf("short input: %v, want ErrBadInput", err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := r.Infer(ctx, "t1", input(r)); !errors.Is(err, context.Canceled) {
+	if _, err := r.Infer(ctx, exec.Request{TaskID: "t1", Input: input(r)}); !errors.Is(err, context.Canceled) {
 		t.Fatalf("canceled context: %v, want context.Canceled", err)
 	}
 }
@@ -273,7 +273,7 @@ func TestConflictingStageRejected(t *testing.T) {
 		t.Fatal("conflicting-stage plan accepted")
 	}
 	// The previous plan keeps serving.
-	if _, err := r.Infer(context.Background(), "t1", input(r)); err != nil {
+	if _, err := r.Infer(context.Background(), exec.Request{TaskID: "t1", Input: input(r)}); err != nil {
 		t.Fatalf("previous plan broken by failed install: %v", err)
 	}
 }
@@ -305,7 +305,7 @@ func TestSimulatedBackend(t *testing.T) {
 	if err := s.Install(plan); err != nil {
 		t.Fatal(err)
 	}
-	out, err := s.Infer(context.Background(), "t1", nil)
+	out, err := s.Infer(context.Background(), exec.Request{TaskID: "t1"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -317,7 +317,7 @@ func TestSimulatedBackend(t *testing.T) {
 	if out.Latency != want {
 		t.Fatalf("simulated latency %v, want planned %v", out.Latency, want)
 	}
-	if _, err := s.Infer(context.Background(), "nope", nil); !errors.Is(err, exec.ErrNoModel) {
+	if _, err := s.Infer(context.Background(), exec.Request{TaskID: "nope"}); !errors.Is(err, exec.ErrNoModel) {
 		t.Fatalf("unknown task: %v, want ErrNoModel", err)
 	}
 }

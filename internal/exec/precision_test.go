@@ -84,7 +84,7 @@ func TestQuantGateConsistentWithFallbackCounter(t *testing.T) {
 		}
 	}
 	// Serving still works at whatever precision the gate settled on.
-	out, err := r.Infer(context.Background(), "t1", input(r))
+	out, err := r.Infer(context.Background(), exec.Request{TaskID: "t1", Input: input(r)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,11 +110,11 @@ func TestQuantizedArgmaxParityWithF64(t *testing.T) {
 		t.Skip("gate demoted the quantized path on this weight draw")
 	}
 	in := input(r)
-	qo, err := r.Infer(context.Background(), "tq", in)
+	qo, err := r.Infer(context.Background(), exec.Request{TaskID: "tq", Input: in})
 	if err != nil {
 		t.Fatal(err)
 	}
-	fo, err := r.Infer(context.Background(), "tf", in)
+	fo, err := r.Infer(context.Background(), exec.Request{TaskID: "tf", Input: in})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +226,7 @@ func TestQuantizedBatchingDeterministic(t *testing.T) {
 		t.Fatal(err)
 	}
 	in := input(r)
-	solo, err := r.Infer(context.Background(), "t1", in)
+	solo, err := r.Infer(context.Background(), exec.Request{TaskID: "t1", Input: in})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,7 +239,7 @@ func TestQuantizedBatchingDeterministic(t *testing.T) {
 	results := make(chan res, 4)
 	for i := 0; i < 4; i++ {
 		go func() {
-			out, err := r.Infer(context.Background(), "t1", in)
+			out, err := r.Infer(context.Background(), exec.Request{TaskID: "t1", Input: in})
 			results <- res{out, err}
 		}()
 	}

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"container/heap"
 	"context"
 	"fmt"
 	"strconv"
@@ -11,8 +12,46 @@ import (
 
 	"offloadnn/internal/dnn"
 	"offloadnn/internal/edge"
+	"offloadnn/internal/faultinject"
 	"offloadnn/internal/tensor"
 )
+
+// SchedPolicy selects how a model's batching queue orders intake.
+type SchedPolicy int
+
+const (
+	// SchedEDF (the default) pops waiters earliest-deadline-first,
+	// sheds requests that are already past deadline before they enter a
+	// batch, and shrinks the batch window under deadline pressure.
+	// Requests without deadlines sort after every deadline-carrying
+	// waiter, in arrival order — with no deadlines set anywhere, EDF
+	// intake is bit-identical to FIFO.
+	SchedEDF SchedPolicy = iota
+	// SchedFIFO is the pre-deadline baseline: strict arrival order, a
+	// fixed BatchWindow, and no lateness shedding. Kept selectable so the
+	// deadline-hit-rate win of EDF is measurable against it on the same
+	// offered load.
+	SchedFIFO
+)
+
+// String implements flag.Value-style printing.
+func (p SchedPolicy) String() string {
+	if p == SchedFIFO {
+		return "fifo"
+	}
+	return "edf"
+}
+
+// ParseSched parses a scheduling policy name ("edf" or "fifo").
+func ParseSched(s string) (SchedPolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "edf":
+		return SchedEDF, nil
+	case "fifo":
+		return SchedFIFO, nil
+	}
+	return SchedEDF, fmt.Errorf("exec: unknown sched policy %q (want edf or fifo)", s)
+}
 
 // RealConfig parameterizes the tensor-backed execution backend.
 type RealConfig struct {
@@ -42,6 +81,17 @@ type RealConfig struct {
 	// CalibBatch is the batch size of the deterministic calibration/gate
 	// input (default 8).
 	CalibBatch int
+	// Sched selects the batching queue's intake order: SchedEDF (the
+	// zero value) for deadline-aware serving, SchedFIFO for the
+	// fixed-window baseline.
+	Sched SchedPolicy
+	// QueueDepth bounds how many requests may wait in one model's intake
+	// queue before backpressure sheds the latest-deadline waiter
+	// (ErrQueueFull). Default 16×BatchSize; negative disables the bound.
+	QueueDepth int
+	// Faults optionally arms the exec.slow / exec.hang chaos points in
+	// the batch executors. Nil (the usual case) costs a nil check.
+	Faults *faultinject.Injector
 	// Logf, when set, receives weight-loading diagnostics. Nil discards.
 	Logf func(string, ...any)
 }
@@ -64,14 +114,52 @@ type blockInstance struct {
 
 // inferReq is one admitted request waiting in a model's batching queue.
 type inferReq struct {
-	input []float64
-	resp  chan inferResp
+	ctx      context.Context
+	input    []float64
+	deadline int64 // unix nanos; 0 = no deadline (sorts last under EDF)
+	seq      uint64
+	resp     chan inferResp
 }
 
 type inferResp struct {
 	logits []float64
 	batch  int
 	err    error
+}
+
+// lessReq is the intake order: under EDF, earlier deadlines first with
+// zero (no deadline) after every deadline-carrying request; ties — and
+// all of FIFO — break on the per-entry arrival sequence. With no
+// deadlines set, EDF order therefore degenerates to exact arrival order.
+func lessReq(a, b *inferReq, edf bool) bool {
+	if edf && a.deadline != b.deadline {
+		if a.deadline == 0 {
+			return false
+		}
+		if b.deadline == 0 {
+			return true
+		}
+		return a.deadline < b.deadline
+	}
+	return a.seq < b.seq
+}
+
+// reqQueue is a model entry's intake queue: a min-heap under lessReq.
+type reqQueue struct {
+	edf   bool
+	items []*inferReq
+}
+
+func (q *reqQueue) Len() int           { return len(q.items) }
+func (q *reqQueue) Less(i, j int) bool { return lessReq(q.items[i], q.items[j], q.edf) }
+func (q *reqQueue) Swap(i, j int)      { q.items[i], q.items[j] = q.items[j], q.items[i] }
+func (q *reqQueue) Push(x any)         { q.items = append(q.items, x.(*inferReq)) }
+func (q *reqQueue) Pop() any {
+	n := len(q.items)
+	it := q.items[n-1]
+	q.items[n-1] = nil
+	q.items = q.items[:n-1]
+	return it
 }
 
 // modelEntry is one assembled path model plus its batching executor. An
@@ -83,8 +171,21 @@ type modelEntry struct {
 	keys  []string         // library keys the model aliases (stem, stages, classifier)
 	prec  tensor.Precision // kernel precision the path runs at (post-gate)
 	refs  int              // tasks routed to the entry by the installed plan
-	reqs  chan *inferReq
-	done  chan struct{} // closed when the entry is released
+	done  chan struct{}    // closed when the entry is released
+
+	// qmu guards the intake heap; avail carries a capacity-1 wakeup
+	// token — every push signals it (non-blocking), and the executor
+	// re-polls the heap after every wake, so no enqueue is ever missed.
+	qmu     sync.Mutex
+	queue   reqQueue
+	qclosed bool
+	seq     uint64
+	avail   chan struct{}
+
+	// execEWMA tracks the entry's smoothed ForwardBatch duration (ns) —
+	// the execution-cost estimate the adaptive batch window subtracts
+	// from the tightest pending slack.
+	execEWMA atomic.Int64
 }
 
 // Real is the tensor-backed execution backend. Install assembles one
@@ -109,7 +210,23 @@ type Real struct {
 	batches        atomic.Int64
 	requests       atomic.Int64
 	quantFallbacks atomic.Int64
+	shedLate       atomic.Int64
+	shedQueueFull  atomic.Int64
+	shedCanceled   atomic.Int64
+	deadlineHits   atomic.Int64
+	deadlineMisses atomic.Int64
+	lastWindow     atomic.Int64
 	wg             sync.WaitGroup
+
+	// closeCtx is canceled by Close; it bounds the exec.hang chaos point
+	// so a wedged executor unwedges at shutdown.
+	closeCtx    context.Context
+	closeCancel context.CancelFunc
+
+	// batchHook, when set by white-box tests before Install, runs at the
+	// head of every batch execution with the batch size — the hook for
+	// deterministic batch-cost injection and executor gating.
+	batchHook func(n int)
 }
 
 // NewReal constructs a tensor-backed backend; every Infer fails with
@@ -139,11 +256,15 @@ func NewReal(cfg RealConfig) (*Real, error) {
 	if cfg.CalibBatch <= 0 {
 		cfg.CalibBatch = 8
 	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 16 * cfg.BatchSize
+	}
 	r := &Real{
 		cfg:    cfg,
 		lib:    make(map[string]*blockInstance),
 		models: make(map[string]*modelEntry),
 	}
+	r.closeCtx, r.closeCancel = context.WithCancel(context.Background())
 	empty := map[string]*modelEntry{}
 	r.routes.Store(&empty)
 	return r, nil
@@ -312,7 +433,8 @@ func (r *Real) buildEntry(sig string, blockIDs []string) (*modelEntry, error) {
 		model: model,
 		keys:  keys,
 		prec:  pathPrec,
-		reqs:  make(chan *inferReq, 4*r.cfg.BatchSize),
+		queue: reqQueue{edf: r.cfg.Sched == SchedEDF},
+		avail: make(chan struct{}, 1),
 		done:  make(chan struct{}),
 	}
 	return e, nil
@@ -510,30 +632,37 @@ func (r *Real) pruneUnreferenced(map[string]*modelEntry) {
 }
 
 // Infer implements Backend: the request joins its model's batching
-// queue and blocks until the batch it lands in executes. The measured
-// latency spans enqueue to result — queueing, batching wait and the
-// forward pass.
-func (r *Real) Infer(ctx context.Context, taskID string, input []float64) (Output, error) {
-	e := (*r.routes.Load())[taskID]
+// queue in EDF (or FIFO) order and blocks until the batch it lands in
+// executes. Requests already past their deadline are shed before they
+// touch the queue (ErrLate); a full queue sheds its latest-deadline
+// waiter (ErrQueueFull). The measured latency spans enqueue to result —
+// queueing, batching wait and the forward pass.
+func (r *Real) Infer(ctx context.Context, req Request) (Output, error) {
+	e := (*r.routes.Load())[req.TaskID]
 	if e == nil {
-		return Output{}, fmt.Errorf("%w: %q", ErrNoModel, taskID)
+		return Output{}, fmt.Errorf("%w: %q", ErrNoModel, req.TaskID)
 	}
 	want := r.cfg.Input[0] * r.cfg.Input[1] * r.cfg.Input[2]
-	if len(input) != want {
+	if len(req.Input) != want {
 		return Output{}, fmt.Errorf("%w: got %d values, model wants %d (%dx%dx%d)",
-			ErrBadInput, len(input), want, r.cfg.Input[0], r.cfg.Input[1], r.cfg.Input[2])
+			ErrBadInput, len(req.Input), want, r.cfg.Input[0], r.cfg.Input[1], r.cfg.Input[2])
 	}
-	req := &inferReq{input: input, resp: make(chan inferResp, 1)}
+	var dl int64
+	if !req.Deadline.IsZero() {
+		dl = req.Deadline.UnixNano()
+	}
+	if r.cfg.Sched == SchedEDF && dl != 0 && time.Now().UnixNano() >= dl {
+		r.shedLate.Add(1)
+		r.deadlineMisses.Add(1)
+		return Output{}, ErrLate
+	}
+	q := &inferReq{ctx: ctx, input: req.Input, deadline: dl, resp: make(chan inferResp, 1)}
 	start := time.Now()
-	select {
-	case e.reqs <- req:
-	case <-e.done:
-		return Output{}, ErrReleased
-	case <-ctx.Done():
-		return Output{}, ctx.Err()
+	if err := r.enqueue(e, q); err != nil {
+		return Output{}, err
 	}
 	select {
-	case resp := <-req.resp:
+	case resp := <-q.resp:
 		if resp.err != nil {
 			return Output{}, resp.err
 		}
@@ -550,69 +679,223 @@ func (r *Real) Infer(ctx context.Context, taskID string, input []float64) (Outpu
 			Latency:   time.Since(start),
 		}, nil
 	case <-ctx.Done():
-		// The batch will still execute; its result for this request is
-		// dropped (resp is buffered, the executor never blocks).
+		// The request stays queued (or in flight); the executor detects
+		// the cancellation, skips or drops its result, and counts it
+		// under ShedCanceled (resp is buffered, nothing blocks).
 		return Output{}, ctx.Err()
 	}
 }
 
+// enqueue pushes a request onto its entry's intake heap, applying the
+// bounded-queue backpressure policy first: when the queue is full, the
+// waiter that sorts last (latest deadline — under pure FIFO, the newest
+// arrival) is shed with ErrQueueFull rather than the newest arrival
+// being rejected outright, so an urgent late-burst request can displace
+// a leisurely one.
+func (r *Real) enqueue(e *modelEntry, q *inferReq) error {
+	e.qmu.Lock()
+	if e.qclosed {
+		e.qmu.Unlock()
+		return ErrReleased
+	}
+	q.seq = e.seq
+	e.seq++
+	var evicted *inferReq
+	if r.cfg.QueueDepth > 0 && len(e.queue.items) >= r.cfg.QueueDepth {
+		worst := 0
+		for i := 1; i < len(e.queue.items); i++ {
+			if lessReq(e.queue.items[worst], e.queue.items[i], e.queue.edf) {
+				worst = i
+			}
+		}
+		if !lessReq(q, e.queue.items[worst], e.queue.edf) {
+			// The incoming request is the least worth serving: shed it.
+			e.qmu.Unlock()
+			r.shedQueueFull.Add(1)
+			if q.deadline != 0 {
+				r.deadlineMisses.Add(1)
+			}
+			return ErrQueueFull
+		}
+		evicted = e.queue.items[worst]
+		heap.Remove(&e.queue, worst)
+	}
+	heap.Push(&e.queue, q)
+	e.qmu.Unlock()
+	if evicted != nil {
+		r.shedQueueFull.Add(1)
+		if evicted.deadline != 0 {
+			r.deadlineMisses.Add(1)
+		}
+		evicted.resp <- inferResp{err: ErrQueueFull}
+	}
+	select {
+	case e.avail <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// tryPop pops the most urgent waiter, shedding canceled and (under EDF)
+// already-late requests on the way: neither enters a batch.
+func (r *Real) tryPop(e *modelEntry) *inferReq {
+	e.qmu.Lock()
+	defer e.qmu.Unlock()
+	for e.queue.Len() > 0 {
+		q := heap.Pop(&e.queue).(*inferReq)
+		if q.ctx != nil && q.ctx.Err() != nil {
+			r.shedCanceled.Add(1)
+			q.resp <- inferResp{err: q.ctx.Err()}
+			continue
+		}
+		if e.queue.edf && q.deadline != 0 && time.Now().UnixNano() >= q.deadline {
+			r.shedLate.Add(1)
+			r.deadlineMisses.Add(1)
+			q.resp <- inferResp{err: ErrLate}
+			continue
+		}
+		return q
+	}
+	return nil
+}
+
+// nextReq blocks until a serveable request arrives or the entry is
+// released (nil). Release wins over a non-empty queue: the remaining
+// waiters belong to drain, which answers them ErrReleased.
+func (r *Real) nextReq(e *modelEntry) *inferReq {
+	for {
+		select {
+		case <-e.done:
+			return nil
+		default:
+		}
+		if q := r.tryPop(e); q != nil {
+			return q
+		}
+		select {
+		case <-e.avail:
+		case <-e.done:
+			return nil
+		}
+	}
+}
+
+// windowFor is the adaptive batch window: the tightest pending deadline
+// slack minus the entry's smoothed execution cost, clamped to
+// [0, BatchWindow]. With no deadline-carrying waiters (or under FIFO)
+// the full BatchWindow applies — plentiful slack grows the batch, a
+// deadline about to expire collapses the wait to zero.
+func (r *Real) windowFor(e *modelEntry, first *inferReq) time.Duration {
+	w := r.cfg.BatchWindow
+	if r.cfg.Sched == SchedEDF {
+		minDL := first.deadline
+		e.qmu.Lock()
+		for _, q := range e.queue.items {
+			if q.deadline != 0 && (minDL == 0 || q.deadline < minDL) {
+				minDL = q.deadline
+			}
+		}
+		e.qmu.Unlock()
+		if minDL != 0 {
+			slack := time.Duration(minDL-time.Now().UnixNano()) - time.Duration(e.execEWMA.Load())
+			if slack < 0 {
+				slack = 0
+			}
+			if slack < w {
+				w = slack
+			}
+		}
+	}
+	r.lastWindow.Store(int64(w))
+	return w
+}
+
 // serveModel is one entry's batching executor: it collects up to
-// BatchSize requests (waiting at most BatchWindow after the first) and
-// runs them through one ForwardBatch call.
+// BatchSize requests in intake order (waiting at most the adaptive
+// window after the first) and runs them through one ForwardBatch call.
 func (r *Real) serveModel(e *modelEntry) {
 	defer r.wg.Done()
 	for {
-		var first *inferReq
-		select {
-		case <-e.done:
+		first := r.nextReq(e)
+		if first == nil {
 			r.drain(e)
 			return
-		case first = <-e.reqs:
 		}
 		batch := []*inferReq{first}
 		if r.cfg.BatchSize > 1 {
-			timer := time.NewTimer(r.cfg.BatchWindow)
+			var timer *time.Timer
+			if w := r.windowFor(e, first); w > 0 {
+				timer = time.NewTimer(w)
+			}
 		fill:
 			for len(batch) < r.cfg.BatchSize {
-				select {
-				case q := <-e.reqs:
+				if q := r.tryPop(e); q != nil {
 					batch = append(batch, q)
+					continue
+				}
+				if timer == nil {
+					break fill
+				}
+				select {
+				case <-e.avail:
 				case <-timer.C:
 					break fill
 				case <-e.done:
 					break fill
 				}
 			}
-			timer.Stop()
+			if timer != nil {
+				timer.Stop()
+			}
 		}
 		r.runBatch(e, batch)
 	}
 }
 
-// drain answers queued requests of a released entry with ErrReleased.
+// drain answers queued requests of a released entry with ErrReleased and
+// closes the queue against further enqueues.
 func (r *Real) drain(e *modelEntry) {
-	for {
-		select {
-		case q := <-e.reqs:
-			q.resp <- inferResp{err: ErrReleased}
-		default:
-			return
-		}
+	e.qmu.Lock()
+	e.qclosed = true
+	items := e.queue.items
+	e.queue.items = nil
+	e.qmu.Unlock()
+	for _, q := range items {
+		q.resp <- inferResp{err: ErrReleased}
 	}
 }
 
 // runBatch assembles the batch tensor, executes the forward pass and
-// distributes the per-request logit rows.
+// distributes the per-request logit rows, accounting deadline outcomes
+// at completion time. Requests whose caller disconnected mid-flight
+// still execute (they are already in the batch) but their result copy
+// is skipped and they count under ShedCanceled.
 func (r *Real) runBatch(e *modelEntry, batch []*inferReq) {
 	n := len(batch)
+	if r.cfg.Faults != nil {
+		// exec.slow stalls then proceeds; exec.hang blocks until its rule
+		// or backend close unwedges it.
+		_ = r.cfg.Faults.Hit(context.Background(), faultinject.PointExecSlow)
+		_ = r.cfg.Faults.Hit(r.closeCtx, faultinject.PointExecHang)
+	}
+	if r.batchHook != nil {
+		r.batchHook(n)
+	}
 	c, h, w := r.cfg.Input[0], r.cfg.Input[1], r.cfg.Input[2]
 	per := c * h * w
 	x := tensor.Rent(n, c, h, w)
 	for i, q := range batch {
 		copy(x.Data()[i*per:(i+1)*per], q.input)
 	}
+	fstart := time.Now()
 	y, err := e.model.ForwardBatch(x)
+	dur := int64(time.Since(fstart))
 	tensor.Release(x)
+	if old := e.execEWMA.Load(); old == 0 {
+		e.execEWMA.Store(dur)
+	} else {
+		e.execEWMA.Store((3*old + dur) / 4)
+	}
 	r.lastBatch.Store(int64(n))
 	r.batches.Add(1)
 	r.requests.Add(int64(n))
@@ -622,8 +905,21 @@ func (r *Real) runBatch(e *modelEntry, batch []*inferReq) {
 		}
 		return
 	}
+	now := time.Now().UnixNano()
 	outPer := y.Len() / n
 	for i, q := range batch {
+		if q.ctx != nil && q.ctx.Err() != nil {
+			r.shedCanceled.Add(1)
+			q.resp <- inferResp{err: q.ctx.Err()}
+			continue
+		}
+		if q.deadline != 0 {
+			if now <= q.deadline {
+				r.deadlineHits.Add(1)
+			} else {
+				r.deadlineMisses.Add(1)
+			}
+		}
 		logits := make([]float64, outPer)
 		copy(logits, y.Data()[i*outPer:(i+1)*outPer])
 		q.resp <- inferResp{logits: logits, batch: n}
@@ -642,8 +938,24 @@ func (r *Real) Stats() Stats {
 	defer r.mu.Unlock()
 	depth := 0
 	precisions := make(map[string]string, len(r.models))
+	var slack map[string]time.Duration
+	now := time.Now().UnixNano()
 	for sig, e := range r.models {
-		depth += len(e.reqs)
+		e.qmu.Lock()
+		depth += e.queue.Len()
+		var minDL int64
+		for _, q := range e.queue.items {
+			if q.deadline != 0 && (minDL == 0 || q.deadline < minDL) {
+				minDL = q.deadline
+			}
+		}
+		e.qmu.Unlock()
+		if minDL != 0 {
+			if slack == nil {
+				slack = make(map[string]time.Duration)
+			}
+			slack[sig] = time.Duration(minDL - now)
+		}
 		precisions[sig] = e.prec.String()
 	}
 	var weightBytes int64
@@ -657,6 +969,13 @@ func (r *Real) Stats() Stats {
 		LastBatchSize:  int(r.lastBatch.Load()),
 		Batches:        r.batches.Load(),
 		Requests:       r.requests.Load(),
+		ShedLate:       r.shedLate.Load(),
+		ShedQueueFull:  r.shedQueueFull.Load(),
+		ShedCanceled:   r.shedCanceled.Load(),
+		DeadlineHits:   r.deadlineHits.Load(),
+		DeadlineMisses: r.deadlineMisses.Load(),
+		QueueSlack:     slack,
+		LastWindow:     time.Duration(r.lastWindow.Load()),
 		QuantFallbacks: r.quantFallbacks.Load(),
 		WeightBytes:    weightBytes,
 		PathPrecisions: precisions,
@@ -705,5 +1024,6 @@ func (r *Real) Close() {
 	empty := map[string]*modelEntry{}
 	r.routes.Store(&empty)
 	r.mu.Unlock()
+	r.closeCancel()
 	r.wg.Wait()
 }

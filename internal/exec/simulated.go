@@ -36,6 +36,8 @@ type Simulated struct {
 	costs  map[string]edge.TaskCost
 	rng    *rand.Rand
 	served int64
+	hits   int64
+	misses int64
 	closed bool
 }
 
@@ -67,22 +69,32 @@ func (s *Simulated) Install(plan *Plan) error {
 
 // Infer implements Backend: the answer is the planned per-frame cost of
 // the task, optionally jittered. The input payload is accepted but not
-// interpreted; no logits are produced.
-func (s *Simulated) Infer(_ context.Context, taskID string, _ []float64) (Output, error) {
+// interpreted; no logits are produced. The cost model answers instantly,
+// so a request deadline matters only when the *modeled* latency blows
+// it: the simulated hit/miss accounting mirrors what the deadline-aware
+// runtime would report for the planned costs, without shedding anything.
+func (s *Simulated) Infer(_ context.Context, req Request) (Output, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return Output{}, ErrClosed
 	}
-	cost, ok := s.costs[taskID]
+	cost, ok := s.costs[req.TaskID]
 	if !ok {
-		return Output{}, fmt.Errorf("%w: %q", ErrNoModel, taskID)
+		return Output{}, fmt.Errorf("%w: %q", ErrNoModel, req.TaskID)
 	}
 	lat := cost.Total()
 	if s.cfg.Jitter > 0 {
 		lat = time.Duration(float64(lat) * (1 + s.cfg.Jitter*(2*s.rng.Float64()-1)))
 	}
 	s.served++
+	if !req.Deadline.IsZero() {
+		if time.Now().Add(lat).After(req.Deadline) {
+			s.misses++
+		} else {
+			s.hits++
+		}
+	}
 	return Output{Argmax: -1, BatchSize: 1, Latency: lat, Simulated: true}, nil
 }
 
@@ -93,7 +105,13 @@ func (s *Simulated) InputShape() []int { return nil }
 func (s *Simulated) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return Stats{Models: len(s.costs), Batches: s.served, Requests: s.served}
+	return Stats{
+		Models:         len(s.costs),
+		Batches:        s.served,
+		Requests:       s.served,
+		DeadlineHits:   s.hits,
+		DeadlineMisses: s.misses,
+	}
 }
 
 // Close implements Backend.

@@ -34,6 +34,14 @@ const (
 	// PointDeployError fails the controller's deploy step after a
 	// successful solve.
 	PointDeployError = "deploy.error"
+	// PointExecSlow stalls the execution backend's batch executor for the
+	// rule's HangFor before each fired forward pass (then proceeds),
+	// modeling a slow accelerator — the deterministic way to provoke
+	// deadline misses in the deadline-aware runtime.
+	PointExecSlow = "exec.slow"
+	// PointExecHang blocks the batch executor until the rule's HangFor
+	// elapses or the backend closes, modeling a wedged forward pass.
+	PointExecHang = "exec.hang"
 )
 
 // ErrInjected is the sentinel wrapped by every error-mode fire.
@@ -50,16 +58,23 @@ const (
 	// ModeHang blocks until HangFor elapses (then returns nil, modeling
 	// a slow call) or the context is done (returning ctx.Err()).
 	ModeHang
+	// ModeSlow sleeps HangFor unconditionally and returns nil — a slow
+	// call that always completes. Unlike ModeHang it ignores the context:
+	// the stall is the point, and it is bounded by the rule itself.
+	ModeSlow
 )
 
 // ModeOf derives a point's failure mode from its name suffix: ".panic"
-// panics, ".hang" stalls, anything else returns an error.
+// panics, ".hang" stalls until ctx/HangFor, ".slow" sleeps HangFor,
+// anything else returns an error.
 func ModeOf(point string) Mode {
 	switch {
 	case strings.HasSuffix(point, ".panic"):
 		return ModePanic
 	case strings.HasSuffix(point, ".hang"):
 		return ModeHang
+	case strings.HasSuffix(point, ".slow"):
+		return ModeSlow
 	}
 	return ModeError
 }
@@ -184,6 +199,11 @@ func (i *Injector) Hit(ctx context.Context, point string) error {
 	switch ModeOf(point) {
 	case ModePanic:
 		panic(fmt.Sprintf("faultinject: %s fired", point))
+	case ModeSlow:
+		if hangFor > 0 {
+			time.Sleep(hangFor)
+		}
+		return nil
 	case ModeHang:
 		if hangFor <= 0 {
 			<-ctx.Done()

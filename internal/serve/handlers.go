@@ -51,6 +51,11 @@ type OffloadRequest struct {
 	// Input is the flattened input tensor (C·H·W values, the backend's
 	// InputShape order); empty for an admission probe.
 	Input []float64 `json:"input,omitempty"`
+	// DeadlineMS overrides the request's deadline budget. Zero (absent)
+	// uses the task's plan-time latency bound L_τ; positive replaces it;
+	// negative opts the request out of any deadline. Ignored for
+	// admission probes (no execution, nothing to miss).
+	DeadlineMS float64 `json:"deadline_ms,omitempty"`
 }
 
 // OffloadResponse is the success body of POST /v1/offload: the epoch
@@ -69,6 +74,11 @@ type OffloadResponse struct {
 	Logits            []float64 `json:"logits,omitempty"`
 	Argmax            *int      `json:"argmax,omitempty"`
 	Simulated         bool      `json:"simulated,omitempty"`
+	// DeadlineMS is the effective deadline budget the request ran under
+	// (plan-time L_τ or the per-request override); absent when the
+	// request carried no deadline. Clients compare it against
+	// MeasuredLatencyMS for client-side hit-rate accounting.
+	DeadlineMS float64 `json:"deadline_ms,omitempty"`
 }
 
 // TaskStatus is one entry of GET /v1/tasks.
@@ -119,6 +129,14 @@ const (
 	// CodeBackend: the execution backend failed the admitted request
 	// (500; retried requests may land on the next epoch's models).
 	CodeBackend = "backend_failed"
+	// CodeDeadline: the request's deadline expired before (or while) it
+	// waited for a batch slot, so the runtime shed it instead of serving
+	// a stale result (504).
+	CodeDeadline = "deadline_exceeded"
+	// CodeOverload: backpressure shed the request — its model's bounded
+	// intake queue was full and this request held the latest deadline
+	// among the waiters (503 with Retry-After).
+	CodeOverload = "overloaded"
 )
 
 // errorBody is the unified JSON error envelope.
@@ -266,11 +284,45 @@ func (s *Server) handleOffload(w http.ResponseWriter, r *http.Request) {
 		resp.DNN = a.Path.DNN
 	}
 	if len(req.Input) > 0 {
-		out, err := s.backend.Infer(r.Context(), req.Task, req.Input)
+		// Deadline budget: the task's plan-time bound L_τ by default, a
+		// positive DeadlineMS overrides it, a negative one opts out.
+		var budget time.Duration
+		switch {
+		case req.DeadlineMS > 0:
+			budget = time.Duration(req.DeadlineMS * float64(time.Millisecond))
+		case req.DeadlineMS < 0:
+			budget = 0
+		default:
+			budget = ep.LatencyBound(req.Task)
+		}
+		var deadline time.Time
+		if budget > 0 {
+			deadline = s.cfg.Now().Add(budget)
+			resp.DeadlineMS = float64(budget) / float64(time.Millisecond)
+			// Under sustained deadline pressure, a request whose planned
+			// latency already blows its budget is shed here — the verdict
+			// is the same 504 the backend would reach, without burning a
+			// queue slot another request could hit its deadline in.
+			if lat > budget && s.Overloaded() {
+				s.stats.earlySheds.Add(1)
+				writeError(w, http.StatusGatewayTimeout, CodeDeadline,
+					"task %q: predicted latency %.1fms exceeds deadline budget %.1fms under overload",
+					req.Task, float64(lat)/float64(time.Millisecond), float64(budget)/float64(time.Millisecond))
+				return
+			}
+		}
+		out, err := s.backend.Infer(r.Context(), exec.Request{TaskID: req.Task, Input: req.Input, Deadline: deadline})
 		if err != nil {
 			switch {
 			case errors.Is(err, exec.ErrBadInput):
 				writeError(w, http.StatusBadRequest, CodeInvalidRequest, "%v", err)
+			case errors.Is(err, exec.ErrLate):
+				s.stats.noteShed(s.cfg.Now())
+				writeError(w, http.StatusGatewayTimeout, CodeDeadline, "%v", err)
+			case errors.Is(err, exec.ErrQueueFull):
+				s.stats.noteShed(s.cfg.Now())
+				w.Header().Set("Retry-After", retryAfter(s.cfg.Debounce))
+				writeError(w, http.StatusServiceUnavailable, CodeOverload, "%v", err)
 			case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 				s.stats.aborted.Add(1)
 				w.WriteHeader(499)
@@ -314,6 +366,8 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"stale_for_seconds":    h.StaleFor.Seconds(),
 		"consecutive_failures": h.ConsecutiveFailures,
 		"breaker_open":         h.BreakerOpen,
+		"overloaded":           h.Overloaded,
+		"recent_sheds":         h.RecentSheds,
 		"tasks":                s.reg.Len(),
 		"uptime_seconds":       s.cfg.Now().Sub(s.stats.start).Seconds(),
 	}
@@ -441,4 +495,30 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "offloadnn_quant_fallback_total %d\n", bs.QuantFallbacks)
 	family("offloadnn_weights_mmap_bytes", "gauge", "Resident bytes of artifact weight buffers aliased zero-copy by live blocks.")
 	fmt.Fprintf(w, "offloadnn_weights_mmap_bytes %d\n", bs.WeightBytes)
+	// Deadline-aware runtime families.
+	family("offloadnn_deadline_hit_ratio", "gauge", "Fraction of deadline-carrying requests served at or before their deadline; 1 with no samples.")
+	hitRatio := 1.0
+	if total := bs.DeadlineHits + bs.DeadlineMisses; total > 0 {
+		hitRatio = float64(bs.DeadlineHits) / float64(total)
+	}
+	fmt.Fprintf(w, "offloadnn_deadline_hit_ratio %g\n", hitRatio)
+	family("offloadnn_shed_total", "counter", "Requests shed by the deadline-aware runtime, by reason.")
+	fmt.Fprintf(w, "offloadnn_shed_total{reason=\"late\"} %d\n", bs.ShedLate+int64(s.stats.EarlySheds()))
+	fmt.Fprintf(w, "offloadnn_shed_total{reason=\"queue_full\"} %d\n", bs.ShedQueueFull)
+	fmt.Fprintf(w, "offloadnn_shed_total{reason=\"canceled\"} %d\n", bs.ShedCanceled)
+	family("offloadnn_batch_window_seconds", "gauge", "Batch window most recently applied by the adaptive executor.")
+	fmt.Fprintf(w, "offloadnn_batch_window_seconds %g\n", bs.LastWindow.Seconds())
+	family("offloadnn_overload", "gauge", "1 while backend sheds inside the overload window exceed the threshold.")
+	fmt.Fprintf(w, "offloadnn_overload %d\n", boolGauge(h.Overloaded))
+	if len(bs.QueueSlack) > 0 {
+		family("offloadnn_queue_slack_seconds", "gauge", "Tightest remaining deadline slack per model intake queue; negative means a late waiter.")
+		sigs := make([]string, 0, len(bs.QueueSlack))
+		for sig := range bs.QueueSlack {
+			sigs = append(sigs, sig)
+		}
+		sort.Strings(sigs)
+		for _, sig := range sigs {
+			fmt.Fprintf(w, "offloadnn_queue_slack_seconds{path=%q} %g\n", sig, bs.QueueSlack[sig].Seconds())
+		}
+	}
 }

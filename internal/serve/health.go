@@ -5,9 +5,11 @@ import "time"
 // HealthState is the daemon's coarse serving condition, the state
 // machine /healthz and /metrics report.
 //
-//	healthy  ──ConsecutiveFailures ≥ DegradedAfter, or the plan trails
-//	│   ▲      the registry longer than StaleAfter──▶  degraded
-//	│   └──────────successful, current re-solve────────────┘
+//	healthy  ──ConsecutiveFailures ≥ DegradedAfter, the plan trails
+//	│   ▲      the registry longer than StaleAfter, or the execution
+//	│   │      runtime sheds ≥ OverloadAfter requests inside the
+//	│   │      trailing OverloadWindow──▶  degraded
+//	│   └──successful, current re-solve and a drained shed window──┘
 //	└──Drain/Close──▶  draining   (terminal: no un-drain)
 type HealthState int
 
@@ -61,6 +63,13 @@ type Health struct {
 	ConsecutiveFailures uint64
 	// BreakerOpen reports the incremental→full circuit breaker.
 	BreakerOpen bool
+	// Overloaded reports sustained deadline pressure in the execution
+	// runtime: RecentSheds ≥ Config.OverloadAfter inside the trailing
+	// OverloadWindow. Degrades the aggregate state while it lasts; the
+	// server returns to healthy once the shed window drains.
+	Overloaded bool
+	// RecentSheds is the backend shed count inside the overload window.
+	RecentSheds int
 	// LastError is the most recent solve failure, empty after a
 	// success.
 	LastError string
@@ -100,12 +109,16 @@ func (s *Server) Health() Health {
 	if since, ok := s.resolver.StaleSince(); ok {
 		h.StaleFor = now.Sub(since)
 	}
+	h.RecentSheds = s.stats.RecentSheds(s.cfg.OverloadWindow, now)
+	h.Overloaded = s.cfg.OverloadAfter >= 0 && h.RecentSheds >= s.cfg.OverloadAfter
 	switch {
 	case s.draining.Load():
 		h.State = Draining
 	case h.ConsecutiveFailures >= uint64(s.cfg.DegradedAfter):
 		h.State = Degraded
 	case h.StaleFor > s.cfg.StaleAfter:
+		h.State = Degraded
+	case h.Overloaded:
 		h.State = Degraded
 	default:
 		h.State = Healthy

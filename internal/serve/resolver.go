@@ -45,6 +45,7 @@ type Epoch struct {
 
 	gates   map[string]*Gate
 	latency map[string]time.Duration
+	bound   map[string]time.Duration
 	assign  map[string]core.Assignment
 }
 
@@ -74,6 +75,17 @@ func (e *Epoch) PredictedLatency(id string) (time.Duration, bool) {
 	}
 	d, ok := e.latency[id]
 	return d, ok
+}
+
+// LatencyBound returns the admitted task's plan-time latency bound L_τ
+// (edge.Deployment.LatencyBounds), zero when the epoch does not admit
+// the task or the task registered without a bound. It is the default
+// per-request deadline budget of the deadline-aware execution runtime.
+func (e *Epoch) LatencyBound(id string) time.Duration {
+	if e == nil {
+		return 0
+	}
+	return e.bound[id]
 }
 
 // Assignment returns the task's admitted assignment, built once at epoch
@@ -372,6 +384,7 @@ func (r *Resolver) resolve(force bool) error {
 		Tasks:      tasks,
 		gates:      make(map[string]*Gate),
 		latency:    make(map[string]time.Duration),
+		bound:      make(map[string]time.Duration),
 		assign:     make(map[string]core.Assignment),
 	}
 	if len(tasks) == 0 {
@@ -403,6 +416,7 @@ func (r *Resolver) resolve(force bool) error {
 			}
 			ep.gates[a.TaskID] = NewGate(dep.AdmittedRates[a.TaskID], r.now)
 			ep.latency[a.TaskID] = costs[a.TaskID].Total()
+			ep.bound[a.TaskID] = dep.LatencyBounds[a.TaskID]
 			ep.assign[a.TaskID] = a
 		}
 	}

@@ -112,6 +112,14 @@ type Config struct {
 	// StaleAfter is how long the published plan may trail the registry
 	// before /healthz turns degraded (default 10 s).
 	StaleAfter time.Duration
+	// OverloadWindow is the sliding window over backend shed verdicts
+	// (late or queue-full) that drives the overload health signal
+	// (default 5 s).
+	OverloadWindow time.Duration
+	// OverloadAfter is how many sheds inside OverloadWindow turn
+	// /healthz degraded and arm the admission gate's early deadline shed
+	// (default 10; negative disables the overload signal).
+	OverloadAfter int
 	// Faults optionally arms the serving stack's fault-injection points
 	// (see internal/faultinject). Nil — the default — leaves every
 	// point a no-op; chaos tests and the edgeserve -fault flag set it.
@@ -209,6 +217,12 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.StaleAfter <= 0 {
 		cfg.StaleAfter = 10 * time.Second
+	}
+	if cfg.OverloadWindow <= 0 {
+		cfg.OverloadWindow = 5 * time.Second
+	}
+	if cfg.OverloadAfter == 0 {
+		cfg.OverloadAfter = 10
 	}
 	if cfg.Backend == nil {
 		cfg.Backend = exec.NewSimulated(exec.SimulatedConfig{})
@@ -340,6 +354,19 @@ func (s *Server) Stats() *Stats { return s.stats }
 // Backend exposes the execution layer the server serves inference
 // through.
 func (s *Server) Backend() exec.Backend { return s.backend }
+
+// Overloaded reports sustained deadline pressure in the execution
+// runtime: at least OverloadAfter backend sheds (late or queue-full)
+// landed inside the trailing OverloadWindow. While true, /healthz
+// reports degraded and the offload path sheds deadline-carrying
+// requests whose predicted latency already exceeds their budget before
+// they burn a backend queue slot.
+func (s *Server) Overloaded() bool {
+	if s.cfg.OverloadAfter < 0 {
+		return false
+	}
+	return s.stats.RecentSheds(s.cfg.OverloadWindow, s.cfg.Now()) >= s.cfg.OverloadAfter
+}
 
 // ServeHTTP implements http.Handler over the daemon's API surface.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }

@@ -41,11 +41,54 @@ type Stats struct {
 	tierLastNanos [tierSlots]atomic.Int64
 	latency        *metrics.Window
 	window         int
+	// earlySheds counts requests the serve layer shed before they reached
+	// the backend queue (overload fast path: predicted latency exceeds
+	// the deadline budget while the runtime is under deadline pressure).
+	earlySheds atomic.Uint64
 
 	mu           sync.Mutex
 	perTask      map[string]*taskCounters
 	lastSolveErr string
+	// shedTimes is a bounded ring of recent backend shed instants (late
+	// and queue-full verdicts) — the overload signal /healthz degrades
+	// on while sheds inside Config.OverloadWindow stay ≥ OverloadAfter.
+	shedTimes []time.Time
+	shedHead  int
 }
+
+// shedRingCap bounds the overload ring; sheds beyond it inside one
+// window saturate the signal, which is all the health coupling needs.
+const shedRingCap = 256
+
+// noteShed records one backend shed instant into the overload ring.
+func (s *Stats) noteShed(t time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.shedTimes) < shedRingCap {
+		s.shedTimes = append(s.shedTimes, t)
+		return
+	}
+	s.shedTimes[s.shedHead] = t
+	s.shedHead = (s.shedHead + 1) % shedRingCap
+}
+
+// RecentSheds counts backend sheds younger than window at now.
+func (s *Stats) RecentSheds(window time.Duration, now time.Time) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cutoff := now.Add(-window)
+	n := 0
+	for _, t := range s.shedTimes {
+		if t.After(cutoff) {
+			n++
+		}
+	}
+	return n
+}
+
+// EarlySheds returns how many requests the serve layer shed before the
+// backend queue (counted under the "late" shed reason on /metrics).
+func (s *Stats) EarlySheds() uint64 { return s.earlySheds.Load() }
 
 func newStats(window int, start time.Time) *Stats {
 	return &Stats{

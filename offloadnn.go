@@ -369,6 +369,9 @@ type (
 	ExecBackend = exec.Backend
 	// ExecPlan is one epoch's deployment handed to a backend.
 	ExecPlan = exec.Plan
+	// ExecRequest is one admitted offload handed to a backend: task,
+	// input tensor and completion deadline (zero time = no deadline).
+	ExecRequest = exec.Request
 	// ExecOutput is the result of one executed offload (logits, argmax,
 	// batch size, measured latency).
 	ExecOutput = exec.Output
