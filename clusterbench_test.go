@@ -1,0 +1,249 @@
+package offloadnn
+
+// Split-serving benchmark harness: TestRecordClusterSplitBench extends
+// the checked-in BENCH_cluster.json with split rows — a model whose only
+// path exceeds every single node's memory, recorded as a 1-node
+// infeasible baseline against 2- and 4-node split-pipeline topologies.
+// Gated behind OFFLOADNN_CLUSTER_BENCH_OUT like the other recorders:
+//
+//	OFFLOADNN_CLUSTER_BENCH_OUT=BENCH_cluster.json go test -run TestRecordClusterSplitBench -count=1 .
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"testing"
+	"time"
+
+	"offloadnn/internal/cluster"
+	"offloadnn/internal/core"
+	"offloadnn/internal/exec"
+	"offloadnn/internal/radio"
+	"offloadnn/internal/serve"
+)
+
+// clusterBenchRun mirrors cmd/edgeload's bench row schema so both
+// writers share one BENCH_cluster.json, keyed by (nodes, split).
+type clusterBenchRun struct {
+	Nodes          int     `json:"nodes"`
+	Split          bool    `json:"split"`
+	MultiHop       int     `json:"multi_hop,omitempty"`
+	ShedHop        int     `json:"shed_hop,omitempty"`
+	Tasks          int     `json:"tasks"`
+	DurationS      float64 `json:"duration_seconds"`
+	Sent           int     `json:"sent"`
+	OK             int     `json:"ok"`
+	Limited        int     `json:"limited"`
+	Failover       int     `json:"failover"`
+	Errors         int     `json:"errors"`
+	ThroughputRPS  float64 `json:"throughput_rps"`
+	P50MS          float64 `json:"p50_ms"`
+	P99MS          float64 `json:"p99_ms"`
+	AdmissionRatio float64 `json:"admission_ratio"`
+}
+
+type clusterBenchFile struct {
+	Benchmark string            `json:"benchmark"`
+	Runs      []clusterBenchRun `json:"runs"`
+}
+
+// splitBenchTask is the acceptance-shape workload: one task whose only
+// path carries 1.2 GB of blocks, more than any bench node holds alone.
+func splitBenchTask() (core.Task, map[string]core.BlockSpec) {
+	ids := []string{"bench/stage1", "bench/stage2", "bench/stage3", "bench/stage4"}
+	blocks := make(map[string]core.BlockSpec, len(ids))
+	for _, id := range ids {
+		blocks[id] = core.BlockSpec{ID: id, ComputeSeconds: 1e-4, MemoryGB: 0.3, TrainSeconds: 1}
+	}
+	return core.Task{
+		ID:          "bench-split",
+		Priority:    1,
+		Rate:        40,
+		MinAccuracy: 0.9,
+		MaxLatency:  500 * time.Millisecond,
+		InputBits:   350e3,
+		SNRdB:       20,
+		Paths: []core.PathSpec{{
+			ID: "bench/full", DNN: "bench", Blocks: ids, Accuracy: 0.95,
+		}},
+	}, blocks
+}
+
+// splitBenchTopology runs one (nodes × per-node-memory) topology: real
+// tensor backends behind live listeners, requests proxied through the
+// coordinator, client latencies recorded.
+func splitBenchTopology(t *testing.T, nodes int, memGB float64, requests int) clusterBenchRun {
+	t.Helper()
+	task, blocks := splitBenchTask()
+	coord, err := cluster.NewCoordinator(cluster.Config{Debounce: 10 * time.Millisecond, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	if err := coord.Registry().Register(task, blocks); err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(coord)
+	defer front.Close()
+
+	res := core.Resources{
+		RBs:                50,
+		ComputeSeconds:     2.5,
+		MemoryGB:           memGB,
+		TrainBudgetSeconds: 1000,
+		Capacity:           radio.PaperRate(),
+	}
+	for i := 0; i < nodes; i++ {
+		backend, err := exec.NewReal(exec.RealConfig{BatchSize: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := serve.New(serve.Config{
+			Res: res, Alpha: 0.5, Node: string(rune('a' + i)),
+			Debounce: 10 * time.Millisecond, Backend: backend,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		ts := httptest.NewServer(cluster.MemberHandler(srv))
+		defer ts.Close()
+		reg, _ := json.Marshal(cluster.RegisterRequest{
+			Node: string(rune('a' + i)), Addr: ts.URL,
+			Res: cluster.ToWireResources(res), BandwidthMbps: 100, State: "healthy",
+		})
+		resp, err := http.Post(front.URL+"/v1/cluster/nodes", "application/json", bytes.NewReader(reg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	if err := coord.PlaceNow(); err != nil {
+		t.Fatal(err)
+	}
+
+	frame := make([]float64, 3*8*8)
+	for i := range frame {
+		frame[i] = float64(i%13)/13 - 0.5
+	}
+	body, _ := json.Marshal(serve.OffloadRequest{Task: task.ID, Input: frame})
+	run := clusterBenchRun{Nodes: nodes, Tasks: 1}
+	var lats []float64
+	var notified float64
+	begun := time.Now()
+	for i := 0; i < requests; i++ {
+		sentAt := time.Now()
+		resp, err := http.Post(front.URL+"/v1/offload", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var or serve.OffloadResponse
+		decErr := json.NewDecoder(resp.Body).Decode(&or)
+		resp.Body.Close()
+		run.Sent++
+		switch {
+		case resp.StatusCode == http.StatusOK && decErr == nil:
+			run.OK++
+			notified = or.AdmittedRate
+			lats = append(lats, float64(time.Since(sentAt))/float64(time.Millisecond))
+			if len(or.Hops) > 1 {
+				run.MultiHop++
+			}
+		case resp.StatusCode == http.StatusTooManyRequests:
+			run.Limited++
+		case resp.StatusCode == http.StatusGatewayTimeout:
+			run.ShedHop++
+		default:
+			run.Errors++
+		}
+	}
+	run.DurationS = time.Since(begun).Seconds()
+	run.Split = run.MultiHop > 0 || run.OK == 0
+	if run.DurationS > 0 {
+		run.ThroughputRPS = float64(run.OK) / run.DurationS
+	}
+	run.AdmissionRatio = notified / task.Rate
+	sort.Float64s(lats)
+	run.P50MS = benchPercentile(lats, 0.50)
+	run.P99MS = benchPercentile(lats, 0.99)
+	return run
+}
+
+func benchPercentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// TestRecordClusterSplitBench regenerates the split rows of
+// BENCH_cluster.json: 1 node (infeasible — the 1.2 GB path fits no
+// 0.7 GB node alone), 2 nodes (2-hop 2|2 pipeline), and 4 nodes at
+// 0.4 GB each (forced 4-hop pipeline, one stage per node).
+func TestRecordClusterSplitBench(t *testing.T) {
+	out := os.Getenv("OFFLOADNN_CLUSTER_BENCH_OUT")
+	if out == "" {
+		t.Skip("set OFFLOADNN_CLUSTER_BENCH_OUT=BENCH_cluster.json to record")
+	}
+	const requests = 30
+	rows := []clusterBenchRun{
+		splitBenchTopology(t, 1, 0.7, requests),
+		splitBenchTopology(t, 2, 0.7, requests),
+		splitBenchTopology(t, 4, 0.4, requests),
+	}
+	for _, r := range rows {
+		if !r.Split {
+			t.Fatalf("%d-node topology did not exercise the split path: %+v", r.Nodes, r)
+		}
+	}
+	if rows[0].OK != 0 {
+		t.Fatalf("1-node baseline served %d requests, want infeasible", rows[0].OK)
+	}
+	if rows[1].OK == 0 || rows[2].OK == 0 {
+		t.Fatalf("split topologies served nothing: 2-node ok=%d, 4-node ok=%d", rows[1].OK, rows[2].OK)
+	}
+
+	doc := clusterBenchFile{Benchmark: "cluster_serving"}
+	if raw, err := os.ReadFile(out); err == nil {
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			t.Fatalf("existing %s is not a benchmark file: %v", out, err)
+		}
+	}
+	for _, run := range rows {
+		replaced := false
+		for i := range doc.Runs {
+			if doc.Runs[i].Nodes == run.Nodes && doc.Runs[i].Split == run.Split {
+				doc.Runs[i] = run
+				replaced = true
+			}
+		}
+		if !replaced {
+			doc.Runs = append(doc.Runs, run)
+		}
+	}
+	sort.Slice(doc.Runs, func(i, j int) bool {
+		if doc.Runs[i].Nodes != doc.Runs[j].Nodes {
+			return doc.Runs[i].Nodes < doc.Runs[j].Nodes
+		}
+		return !doc.Runs[i].Split && doc.Runs[j].Split
+	})
+	raw, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(raw, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("recorded %d split rows into %s", len(rows), out)
+}

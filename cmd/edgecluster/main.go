@@ -4,7 +4,11 @@
 // every registered task's execution path on one member — greedy
 // bin-packing by descending priority over per-node DOT solves, priced at
 // the fleet-wide capacity totals — pushes each node its task subset, and
-// proxies /v1/offload along the resulting task→node routing table.
+// proxies /v1/offload along the resulting task→node routing table. A
+// task whose only viable path fits no single node is split into
+// pipelined stage segments across members (activations handed off over
+// POST /v1/stage, priced against the measured inter-node link matrix);
+// the route then points at the head segment's node.
 //
 // Membership churn (join, leave, heartbeat timeout, push or proxy
 // failure, bandwidth drift beyond -bw-drift) kicks a debounced
@@ -61,6 +65,7 @@ func run() int {
 	debounce := flag.Duration("debounce", 100*time.Millisecond, "churn batching window before a cluster-wide re-placement")
 	heartbeatTimeout := flag.Duration("heartbeat-timeout", 3*time.Second, "silence before a member is declared stale and re-placed")
 	bwDrift := flag.Float64("bw-drift", 0.2, "fractional link-rate change that forces a re-placement")
+	bwFloor := flag.Float64("bandwidth-floor", 0, "Mb/s an unmeasured link is priced at (0 = conservative default, negative = free)")
 	pushTimeout := flag.Duration("push-timeout", 30*time.Second, "deadline for one plan push including the member's re-solve")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for probabilistic fault triggers")
 	var faultSpecs []string
@@ -102,6 +107,7 @@ func run() int {
 		Debounce:           *debounce,
 		HeartbeatTimeout:   *heartbeatTimeout,
 		BandwidthDriftFrac: *bwDrift,
+		BandwidthFloorMbps: *bwFloor,
 		PushTimeout:        *pushTimeout,
 		Faults:             faults,
 		Logf:               log.Printf,

@@ -37,6 +37,12 @@
 // file keyed by cluster size — run it once per topology:
 //
 //	edgeload -cluster -bench-out BENCH_cluster.json          # 1, 2 or 4 nodes
+//
+// Cluster responses that traveled a split pipeline carry per-hop
+// metadata; the loader reports the hop count and a per-hop latency
+// breakdown, and 504s whose budget died mid-pipeline
+// (deadline_exceeded@hop) are counted apart from single-node deadline
+// misses.
 package main
 
 import (
@@ -53,6 +59,7 @@ import (
 	"time"
 
 	"offloadnn/internal/core"
+	"offloadnn/internal/dnn"
 	"offloadnn/internal/serve"
 	"offloadnn/internal/workload"
 )
@@ -63,7 +70,9 @@ type counts struct {
 	failover                          int     // 502/503 answers in -cluster mode
 	badLogits                         int     // 200s with a missing/malformed logit vector
 	shedLate                          int     // 504 deadline_exceeded answers
+	shedHop                           int     // 504 deadline_exceeded@hop answers (budget died mid-pipeline)
 	shedOverload                      int     // 503 overloaded answers (standalone mode)
+	multiHop                          int     // 200s whose response traveled ≥2 pipeline hops
 	deadlined                         int     // 200s that carried a deadline budget
 	deadlineHits                      int     // ...answered within that budget, client-side
 	notified                          float64 // last admitted_rate the daemon reported
@@ -84,6 +93,25 @@ type loader struct {
 	mu     sync.Mutex
 	byTask map[string]*counts
 	latMS  []float64 // client-side latency of every answered offload
+	// hopLatMS collects split-pipeline segment latencies by hop index
+	// (from the response's hops metadata); hopNodes the node IDs seen at
+	// each index.
+	hopLatMS map[int][]float64
+	hopNodes map[int]map[string]bool
+}
+
+// recordHops folds one multi-hop response's metadata into the per-hop
+// breakdown. Caller holds l.mu.
+func (l *loader) recordHops(hops []dnn.ActivationHop) {
+	for i, h := range hops {
+		l.hopLatMS[i] = append(l.hopLatMS[i], h.LatencyMS)
+		nodes, ok := l.hopNodes[i]
+		if !ok {
+			nodes = make(map[string]bool)
+			l.hopNodes[i] = nodes
+		}
+		nodes[h.Node] = true
+	}
 }
 
 func (l *loader) task(id string) *counts {
@@ -238,12 +266,39 @@ func (l *loader) offloadLoop(ctx context.Context, task core.Task, scale float64)
 	}
 }
 
+// postOffload fires one offload and, on an error status, also reads the
+// error envelope's code (so a mid-pipeline deadline_exceeded@hop can be
+// told apart from a single-node 504).
+func (l *loader) postOffload(req serve.OffloadRequest) (int, string, serve.OffloadResponse, error) {
+	var or serve.OffloadResponse
+	buf, err := json.Marshal(req)
+	if err != nil {
+		return 0, "", or, err
+	}
+	resp, err := l.client.Post(l.base+"/v1/offload", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return 0, "", or, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		return resp.StatusCode, "", or, json.NewDecoder(resp.Body).Decode(&or)
+	}
+	var env struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	// An unparseable error body leaves the code empty; the status alone
+	// still classifies the verdict.
+	_ = json.NewDecoder(resp.Body).Decode(&env)
+	return resp.StatusCode, env.Error.Code, or, nil
+}
+
 // offloadOnce fires one offload request and records its verdict.
 func (l *loader) offloadOnce(taskID string, c *counts) {
-	var or serve.OffloadResponse
 	req := serve.OffloadRequest{Task: taskID, Input: l.payload, DeadlineMS: l.deadlineMS}
 	sentAt := time.Now()
-	status, err := l.postJSON("/v1/offload", req, &or)
+	status, code, or, err := l.postOffload(req)
 	elapsedMS := float64(time.Since(sentAt)) / float64(time.Millisecond)
 	l.mu.Lock()
 	c.sent++
@@ -260,6 +315,10 @@ func (l *loader) offloadOnce(taskID string, c *counts) {
 	case status == http.StatusOK:
 		c.ok++
 		c.notified = or.AdmittedRate
+		if len(or.Hops) > 1 {
+			c.multiHop++
+			l.recordHops(or.Hops)
+		}
 		if l.payload != nil {
 			c.inferMS = or.MeasuredLatencyMS
 			if !or.Simulated && !validLogits(or) {
@@ -272,6 +331,10 @@ func (l *loader) offloadOnce(taskID string, c *counts) {
 				}
 			}
 		}
+	case status == http.StatusGatewayTimeout && code == serve.CodeDeadlineHop:
+		// The deadline budget died mid-pipeline: the head segment ran but
+		// a later hop (transfer included) had nothing left.
+		c.shedHop++
 	case status == http.StatusGatewayTimeout:
 		// The runtime shed the request as already late: load shedding
 		// doing its job under pressure, not a client error.
@@ -341,6 +404,8 @@ func run() int {
 		base:       *addr,
 		client:     &http.Client{Timeout: 5 * time.Second},
 		byTask:     make(map[string]*counts),
+		hopLatMS:   make(map[int][]float64),
+		hopNodes:   make(map[int]map[string]bool),
 		cluster:    *clusterMode,
 		deadlineMS: float64(*deadline) / float64(time.Millisecond),
 		burst:      *burst,
@@ -500,12 +565,12 @@ func run() int {
 		}
 		fmt.Println()
 	} else if l.cluster {
-		fmt.Printf("\n%-10s %6s %6s %6s %6s %9s %6s %14s %12s\n",
-			"task", "sent", "ok", "429", "404", "failover", "err", "notified(z·λ)", "achieved/s")
+		fmt.Printf("\n%-10s %6s %6s %6s %6s %8s %9s %9s %6s %14s %12s\n",
+			"task", "sent", "ok", "429", "404", "504", "504@hop", "failover", "err", "notified(z·λ)", "achieved/s")
 		for _, id := range ids {
 			c := l.byTask[id]
-			fmt.Printf("%-10s %6d %6d %6d %6d %9d %6d %14.2f %12.2f\n",
-				id, c.sent, c.ok, c.limited, c.missing, c.failover, c.other,
+			fmt.Printf("%-10s %6d %6d %6d %6d %8d %9d %9d %6d %14.2f %12.2f\n",
+				id, c.sent, c.ok, c.limited, c.missing, c.shedLate, c.shedHop, c.failover, c.other,
 				c.notified, float64(c.ok)/duration.Seconds())
 			if c.other > 0 {
 				exit = 1
@@ -522,6 +587,28 @@ func run() int {
 			if c.other > 0 {
 				exit = 1
 			}
+		}
+	}
+
+	// Split-pipeline accounting applies to payload and cluster reports
+	// alike: any mode can ride a multi-hop route.
+	var multiHop, shedHop int
+	for _, id := range ids {
+		multiHop += l.byTask[id].multiHop
+		shedHop += l.byTask[id].shedHop
+	}
+	if multiHop > 0 || shedHop > 0 {
+		fmt.Printf("\nsplit: %d multi-hop answers, %d shed as %s\n", multiHop, shedHop, serve.CodeDeadlineHop)
+		for hop := 0; hop < len(l.hopLatMS); hop++ {
+			lats := append([]float64(nil), l.hopLatMS[hop]...)
+			sort.Float64s(lats)
+			nodes := make([]string, 0, len(l.hopNodes[hop]))
+			for n := range l.hopNodes[hop] {
+				nodes = append(nodes, n)
+			}
+			sort.Strings(nodes)
+			fmt.Printf("  hop %d %v: n=%d, p50 %.3f ms, p99 %.3f ms\n",
+				hop, nodes, len(lats), percentile(lats, 0.50), percentile(lats, 0.99))
 		}
 	}
 
@@ -545,7 +632,13 @@ func run() int {
 
 // benchRun is one topology's entry in the -bench-out file.
 type benchRun struct {
-	Nodes          int     `json:"nodes"`
+	Nodes int `json:"nodes"`
+	// Split marks a run whose responses traveled split pipelines (the
+	// model fits no single node); rows are keyed by (nodes, split) so
+	// split and whole-path runs at the same size coexist.
+	Split          bool    `json:"split"`
+	MultiHop       int     `json:"multi_hop,omitempty"`
+	ShedHop        int     `json:"shed_hop,omitempty"`
 	Tasks          int     `json:"tasks"`
 	DurationS      float64 `json:"duration_seconds"`
 	Sent           int     `json:"sent"`
@@ -570,6 +663,8 @@ func clusterRun(l *loader, duration time.Duration) benchRun {
 		r.Limited += c.limited
 		r.Failover += c.failover
 		r.Errors += c.other + c.missing
+		r.MultiHop += c.multiHop
+		r.ShedHop += c.shedHop
 		notified += c.notified
 		// Offered rate λ comes from the task's small-scenario index.
 		var idx int
@@ -579,6 +674,7 @@ func clusterRun(l *loader, duration time.Duration) benchRun {
 			}
 		}
 	}
+	r.Split = r.MultiHop > 0
 	r.ThroughputRPS = float64(r.OK) / duration.Seconds()
 	if offered > 0 {
 		r.AdmissionRatio = notified / offered
@@ -622,7 +718,7 @@ func mergeBench(path string, run benchRun) error {
 	}
 	replaced := false
 	for i := range doc.Runs {
-		if doc.Runs[i].Nodes == run.Nodes {
+		if doc.Runs[i].Nodes == run.Nodes && doc.Runs[i].Split == run.Split {
 			doc.Runs[i] = run
 			replaced = true
 		}
@@ -630,7 +726,12 @@ func mergeBench(path string, run benchRun) error {
 	if !replaced {
 		doc.Runs = append(doc.Runs, run)
 	}
-	sort.Slice(doc.Runs, func(i, j int) bool { return doc.Runs[i].Nodes < doc.Runs[j].Nodes })
+	sort.Slice(doc.Runs, func(i, j int) bool {
+		if doc.Runs[i].Nodes != doc.Runs[j].Nodes {
+			return doc.Runs[i].Nodes < doc.Runs[j].Nodes
+		}
+		return !doc.Runs[i].Split && doc.Runs[j].Split
+	})
 	out, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err

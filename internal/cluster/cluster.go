@@ -50,6 +50,13 @@ const (
 	PointHeartbeatDrop = "cluster.heartbeat.drop"
 )
 
+// DefaultFloorMbps is the conservative rate an unmeasured link is priced
+// at. An unprobed link used to be priced as free, which made placement
+// systematically prefer exactly the nodes it knew least about; the floor
+// inverts that bias — unknown links look slow until a probe proves
+// otherwise.
+const DefaultFloorMbps = 1.0
+
 // Node is one cluster member as the placement layer sees it: an identity,
 // a serving address, its own capacity pool and the measured bandwidth of
 // the coordinator→node link.
@@ -62,18 +69,58 @@ type Node struct {
 	// the node is solved against it.
 	Res core.Resources
 	// BandwidthMbps is the measured coordinator→node link rate in
-	// megabits per second. Zero or negative means unmeasured/co-located:
-	// forwarding is free and no latency budget is charged.
+	// megabits per second. Zero or negative means unmeasured: the link is
+	// priced at the conservative floor (see FloorMbps) rather than free.
 	BandwidthMbps float64
+	// FloorMbps is the rate an unmeasured link is priced at. Zero means
+	// DefaultFloorMbps; negative opts the node out of floor pricing
+	// entirely (unmeasured forwarding is free — the co-located /
+	// loopback case, and the setting single-node parity tests use).
+	FloorMbps float64
+}
+
+// LinkMbps is the rate placement prices the coordinator→node link at:
+// the measured bandwidth when a probe has run, otherwise the node's
+// conservative floor (0 when the node opted out with a negative floor).
+func (n Node) LinkMbps() float64 {
+	if n.BandwidthMbps > 0 {
+		return n.BandwidthMbps
+	}
+	if n.FloorMbps < 0 {
+		return 0
+	}
+	if n.FloorMbps > 0 {
+		return n.FloorMbps
+	}
+	return DefaultFloorMbps
 }
 
 // ForwardDelay returns how long one frame of the given size spends on
-// the coordinator→node link, zero when the link is unmeasured.
+// the coordinator→node link. An unmeasured link is priced at the node's
+// conservative floor so placement never prefers an unprobed link; only
+// an explicit negative FloorMbps makes forwarding free.
 func (n Node) ForwardDelay(bits float64) time.Duration {
-	if n.BandwidthMbps <= 0 || bits <= 0 {
+	mbps := n.LinkMbps()
+	if mbps <= 0 || bits <= 0 {
 		return 0
 	}
-	return time.Duration(bits / (n.BandwidthMbps * 1e6) * float64(time.Second))
+	return time.Duration(bits / (mbps * 1e6) * float64(time.Second))
+}
+
+// TransferDelay prices shipping the given number of bits over the slower
+// of the two nodes' coordinator links — the conservative estimate of the
+// a→b inter-node path when no direct measurement exists. A measured
+// peer rate, when available, overrides this (see the coordinator's
+// link matrix).
+func TransferDelay(a, b Node, bits float64) time.Duration {
+	mbps := a.LinkMbps()
+	if mb := b.LinkMbps(); mb < mbps {
+		mbps = mb
+	}
+	if mbps <= 0 || bits <= 0 {
+		return 0
+	}
+	return time.Duration(bits / (mbps * 1e6) * float64(time.Second))
 }
 
 // AdjustTask returns the task as node n's DOT instance must see it: the

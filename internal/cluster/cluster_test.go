@@ -58,6 +58,12 @@ func startCoordinator(t *testing.T, cfg Config) *Coordinator {
 	if cfg.Debounce == 0 {
 		cfg.Debounce = 10 * time.Millisecond
 	}
+	if cfg.BandwidthFloorMbps == 0 {
+		// In-process members talk over loopback, not a radio link: opt out
+		// of the unmeasured-link floor so these tests keep pinning the
+		// placement math. The floor has its own test (TestBandwidthFloor).
+		cfg.BandwidthFloorMbps = -1
+	}
 	c, err := NewCoordinator(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -341,7 +347,7 @@ func TestClusterHeartbeatTimeout(t *testing.T) {
 
 	// b beats inside the window; only a keeps beating afterwards.
 	clock.Advance(90 * time.Millisecond)
-	if resp := postHeartbeat(t, front.URL, "a", HeartbeatRequest{State: "healthy"}); resp.StatusCode != http.StatusNoContent {
+	if resp := postHeartbeat(t, front.URL, "a", HeartbeatRequest{State: "healthy"}); resp.StatusCode != http.StatusOK {
 		t.Fatalf("heartbeat answered %d", resp.StatusCode)
 	}
 	clock.Advance(30 * time.Millisecond) // b is now 120 ms silent, a only 30 ms
@@ -367,7 +373,7 @@ func TestClusterHeartbeatTimeout(t *testing.T) {
 	}
 
 	// The member resumes beating: revived, cluster healthy again.
-	if resp := postHeartbeat(t, front.URL, "b", HeartbeatRequest{State: "healthy"}); resp.StatusCode != http.StatusNoContent {
+	if resp := postHeartbeat(t, front.URL, "b", HeartbeatRequest{State: "healthy"}); resp.StatusCode != http.StatusOK {
 		t.Fatalf("revival heartbeat answered %d", resp.StatusCode)
 	}
 	c.Sweep()

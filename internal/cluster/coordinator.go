@@ -49,10 +49,23 @@ type Config struct {
 	// SweepEvery is the failure detector's check period (default
 	// HeartbeatTimeout/4).
 	SweepEvery time.Duration
-	// BandwidthDriftFrac is the fractional change in a member's reported
-	// link rate that triggers a re-placement; smaller drift is recorded
-	// for the next placement without forcing one (default 0.2).
+	// BandwidthDriftFrac is the fractional change in a member's smoothed
+	// link rate — relative to the rate the latest placement priced with —
+	// that triggers a re-placement; smaller drift is recorded for the
+	// next placement without forcing one (default 0.2). Raw probes are
+	// EMA-smoothed first so per-beat measurement jitter does not thrash
+	// the placement loop.
 	BandwidthDriftFrac float64
+	// BandwidthFloorMbps is the rate unmeasured links are priced at
+	// (Node.FloorMbps for every member). 0 applies DefaultFloorMbps;
+	// negative prices unmeasured links as free — the co-located setting
+	// single-node parity comparisons use.
+	BandwidthFloorMbps float64
+	// Split parameterizes the cross-node split-placement pass over tasks
+	// whole-path placement spills; nil enables it with defaults. The
+	// coordinator always wires its measured inter-node bandwidth matrix
+	// into the search.
+	Split *SplitConfig
 	// PushTimeout bounds one plan push — including the member's
 	// synchronous re-solve (default 30 s).
 	PushTimeout time.Duration
@@ -67,13 +80,15 @@ type Config struct {
 	Client *http.Client
 }
 
-// routeEntry is one admitted task's serving location.
+// routeEntry is one admitted task's serving location. A split task
+// routes to its head node; Hops > 1 marks the pipeline length.
 type routeEntry struct {
 	NodeID string
 	Addr   string
 	Rate   float64 // admitted rate z·λ
 	Path   string
 	DNN    string
+	Hops   int
 }
 
 // routeTable is the immutable task→node map the proxy reads; re-placements
@@ -92,6 +107,17 @@ type memberState struct {
 	reported int  // task count from the last heartbeat
 	stale    bool // heartbeat timeout fired
 	failed   bool // a push or proxy to the node failed; cleared on contact
+	// peerMbps is the member's measured node→peer link rates (peer node
+	// ID → Mbps), reported piecewise over heartbeats and EMA-smoothed —
+	// loopback and wireless probes jitter by integer factors beat to
+	// beat. The coordinator's half of the inter-node bandwidth matrix.
+	peerMbps map[string]float64
+	// placedMbps / peerPlacedMbps snapshot the link rates the latest
+	// placement actually priced with; drift is judged against them, so a
+	// sustained shift forces one re-placement instead of one per noisy
+	// probe.
+	placedMbps     float64
+	peerPlacedMbps map[string]float64
 	// Last placement outcome for this node.
 	placedTasks int
 	weighted    float64
@@ -111,6 +137,7 @@ type placeSummary struct {
 	unplaced []string
 	errors   []string
 	nodes    int
+	splits   []SplitPath
 }
 
 // Coordinator owns the cluster's task registry and places admitted work
@@ -177,6 +204,9 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 	}
 	if cfg.Client == nil {
 		cfg.Client = &http.Client{Timeout: cfg.PushTimeout}
+	}
+	if cfg.Split == nil {
+		cfg.Split = &SplitConfig{}
 	}
 	c := &Coordinator{
 		cfg:     cfg,
@@ -312,7 +342,9 @@ func (c *Coordinator) placeOnce(ctx context.Context) error {
 	tasks, blocks, gen := c.reg.Snapshot()
 	for attempt := 0; ; attempt++ {
 		nodes := c.aliveNodes()
-		p := PlaceWith(ctx, tasks, blocks, nodes, PlaceConfig{Alpha: c.cfg.Alpha, ApproxAfter: c.cfg.ApproxAfter})
+		split := *c.cfg.Split
+		split.Link = c.linkFunc()
+		p := PlaceWith(ctx, tasks, blocks, nodes, PlaceConfig{Alpha: c.cfg.Alpha, ApproxAfter: c.cfg.ApproxAfter, Split: &split})
 		failed := c.pushPlans(ctx, p)
 		if len(failed) == 0 {
 			c.publish(p, gen, len(nodes))
@@ -335,6 +367,58 @@ func (c *Coordinator) placeOnce(ctx context.Context) error {
 	}
 }
 
+// linkFunc snapshots the measured inter-node bandwidth matrix into the
+// split search's link oracle: a measured a→b (or, failing that, b→a)
+// probe wins; with no measurement the a↔b path is priced at the slower
+// of the two coordinator links, floors applied (TransferDelay's rule).
+func (c *Coordinator) linkFunc() func(a, b Node) float64 {
+	c.mu.Lock()
+	matrix := make(map[string]map[string]float64, len(c.members))
+	for id, m := range c.members {
+		m.placedMbps = m.node.BandwidthMbps
+		if len(m.peerMbps) == 0 {
+			continue
+		}
+		row := make(map[string]float64, len(m.peerMbps))
+		placed := make(map[string]float64, len(m.peerMbps))
+		for peer, mbps := range m.peerMbps {
+			row[peer] = mbps
+			placed[peer] = mbps
+		}
+		matrix[id] = row
+		m.peerPlacedMbps = placed
+	}
+	c.mu.Unlock()
+	return func(a, b Node) float64 {
+		if mbps, ok := matrix[a.ID][b.ID]; ok && mbps > 0 {
+			return mbps
+		}
+		if mbps, ok := matrix[b.ID][a.ID]; ok && mbps > 0 {
+			return mbps
+		}
+		mbps := a.LinkMbps()
+		if mb := b.LinkMbps(); mb < mbps {
+			mbps = mb
+		}
+		return mbps
+	}
+}
+
+// peerAddrs lists every other alive member's serving address — the
+// address book a heartbeat response hands the member's agent for its
+// inter-node bandwidth probes.
+func (c *Coordinator) peerAddrs(self string) map[string]string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]string)
+	for id, m := range c.members {
+		if id != self && m.alive() {
+			out[id] = m.node.Addr
+		}
+	}
+	return out
+}
+
 // pushPlans sends every alive member its slice of the placement — an
 // empty slice clears a node that lost all its tasks — and returns the IDs
 // whose push failed.
@@ -343,6 +427,7 @@ func (c *Coordinator) pushPlans(ctx context.Context, p *Placement) []string {
 	for i := range p.Plans {
 		plans[p.Plans[i].Node.ID] = &p.Plans[i]
 	}
+	segs := wireSegments(p.Splits)
 	c.mu.Lock()
 	targets := make([]*memberState, 0, len(c.members))
 	for _, m := range c.members {
@@ -359,7 +444,7 @@ func (c *Coordinator) pushPlans(ctx context.Context, p *Placement) []string {
 		wg.Add(1)
 		go func(m *memberState) {
 			defer wg.Done()
-			if err := c.pushPlan(ctx, m, plans[m.node.ID], p.Norm); err != nil {
+			if err := c.pushPlan(ctx, m, plans[m.node.ID], segs[m.node.ID], p.Norm); err != nil {
 				if c.cfg.Logf != nil {
 					c.cfg.Logf("cluster: push to %s (%s): %v", m.node.ID, m.node.Addr, err)
 				}
@@ -374,9 +459,44 @@ func (c *Coordinator) pushPlans(ctx context.Context, p *Placement) []string {
 	return failed
 }
 
+// wireSegments converts a placement's split plans into each node's wire
+// segments, threading the relay coordinates (next hop, pipeline length,
+// head budget) through.
+func wireSegments(splits []SplitPath) map[string][]WireSegment {
+	if len(splits) == 0 {
+		return nil
+	}
+	out := make(map[string][]WireSegment)
+	for i := range splits {
+		sp := &splits[i]
+		for si, seg := range sp.Segments {
+			w := WireSegment{
+				Task:   sp.TaskID,
+				Path:   sp.Path.ID,
+				DNN:    sp.Path.DNN,
+				Blocks: sp.Path.Blocks,
+				From:   seg.From,
+				To:     seg.To,
+				Rate:   sp.Rate,
+				Hop:    si,
+				Hops:   len(sp.Segments),
+			}
+			if si == 0 {
+				w.BudgetMS = sp.BudgetMS
+			}
+			if si+1 < len(sp.Segments) {
+				w.Next = sp.Segments[si+1].Addr
+				w.NextNode = sp.Segments[si+1].NodeID
+			}
+			out[seg.NodeID] = append(out[seg.NodeID], w)
+		}
+	}
+	return out
+}
+
 // pushPlan PUTs one node's task subset to the member and waits for its
 // re-solve to acknowledge.
-func (c *Coordinator) pushPlan(ctx context.Context, m *memberState, plan *NodePlan, norm *core.Resources) error {
+func (c *Coordinator) pushPlan(ctx context.Context, m *memberState, plan *NodePlan, segs []WireSegment, norm *core.Resources) error {
 	if err := c.cfg.Faults.Hit(ctx, PointPushError); err != nil {
 		return err
 	}
@@ -387,6 +507,7 @@ func (c *Coordinator) pushPlan(ctx context.Context, m *memberState, plan *NodePl
 		Placement: c.placeSeq.Load() + 1,
 		Alpha:     c.cfg.Alpha,
 		Res:       ToWireResources(res),
+		Segments:  segs,
 	}
 	if plan != nil {
 		for _, t := range plan.Tasks {
@@ -434,8 +555,12 @@ func (c *Coordinator) publish(p *Placement, gen uint64, nodes int) {
 	for i := range p.Plans {
 		byNode[p.Plans[i].Node.ID] = &p.Plans[i]
 	}
+	splitBy := make(map[string]*SplitPath, len(p.Splits))
+	for i := range p.Splits {
+		splitBy[p.Splits[i].TaskID] = &p.Splits[i]
+	}
 	for taskID, nodeID := range p.Route {
-		e := routeEntry{NodeID: nodeID}
+		e := routeEntry{NodeID: nodeID, Hops: 1}
 		if plan := byNode[nodeID]; plan != nil {
 			e.Addr = plan.Node.Addr
 			e.Rate = plan.Admitted[taskID]
@@ -447,6 +572,12 @@ func (c *Coordinator) publish(p *Placement, gen uint64, nodes int) {
 					}
 				}
 			}
+		}
+		if sp := splitBy[taskID]; sp != nil {
+			e.Rate = sp.Rate
+			e.Path = sp.Path.ID
+			e.DNN = sp.Path.DNN
+			e.Hops = len(sp.Segments)
 		}
 		entries[taskID] = e
 	}
@@ -461,6 +592,7 @@ func (c *Coordinator) publish(p *Placement, gen uint64, nodes int) {
 		unplaced: p.Unplaced,
 		errors:   p.Errors,
 		nodes:    nodes,
+		splits:   p.Splits,
 	})
 	c.mu.Lock()
 	for _, m := range c.members {
@@ -477,8 +609,8 @@ func (c *Coordinator) publish(p *Placement, gen uint64, nodes int) {
 	}
 	c.mu.Unlock()
 	if c.cfg.Logf != nil {
-		c.cfg.Logf("cluster: placement %d over %d nodes: %d routed, %d unplaced, weighted admission %.3f",
-			seq, nodes, len(entries), len(p.Unplaced), p.WeightedAdmission)
+		c.cfg.Logf("cluster: placement %d over %d nodes: %d routed (%d split), %d unplaced, weighted admission %.3f",
+			seq, nodes, len(entries), len(p.Splits), len(p.Unplaced), p.WeightedAdmission)
 	}
 }
 
@@ -505,7 +637,7 @@ func (c *Coordinator) register(req RegisterRequest) error {
 		m = &memberState{}
 		c.members[req.Node] = m
 	}
-	m.node = Node{ID: req.Node, Addr: req.Addr, Res: res, BandwidthMbps: req.BandwidthMbps}
+	m.node = Node{ID: req.Node, Addr: req.Addr, Res: res, BandwidthMbps: req.BandwidthMbps, FloorMbps: c.cfg.BandwidthFloorMbps}
 	m.state = parseHealthState(req.State)
 	m.lastBeat = now
 	m.epoch = req.Epoch
@@ -521,7 +653,10 @@ func (c *Coordinator) register(req RegisterRequest) error {
 }
 
 // heartbeat records a member's beat, reviving stale/failed nodes and
-// kicking a re-placement on revival or bandwidth drift.
+// kicking a re-placement on revival or bandwidth drift. Reported link
+// probes (coordinator link and node→peer rates) are EMA-smoothed and
+// drift is judged against the rates the latest placement priced with,
+// so noisy probes settle instead of re-placing every beat.
 func (c *Coordinator) heartbeat(id string, req HeartbeatRequest) (ok bool) {
 	now := c.cfg.Now()
 	kick := false
@@ -538,11 +673,35 @@ func (c *Coordinator) heartbeat(id string, req HeartbeatRequest) (ok bool) {
 		}
 		if req.BandwidthMbps > 0 {
 			old := m.node.BandwidthMbps
-			m.node.BandwidthMbps = req.BandwidthMbps
-			if old <= 0 || absFrac(req.BandwidthMbps, old) > c.cfg.BandwidthDriftFrac {
+			m.node.BandwidthMbps = smoothRate(old, req.BandwidthMbps)
+			ref := m.placedMbps
+			if ref <= 0 {
+				ref = old // no placement has priced this link yet
+			}
+			if ref <= 0 || absFrac(m.node.BandwidthMbps, ref) > c.cfg.BandwidthDriftFrac {
 				kick = true
 				if c.cfg.Logf != nil {
-					c.cfg.Logf("cluster: node %s link rate drifted %g → %g Mb/s, re-placing", id, old, req.BandwidthMbps)
+					c.cfg.Logf("cluster: node %s link rate drifted to %.1f Mb/s (placed at %.1f), re-placing", id, m.node.BandwidthMbps, ref)
+				}
+			}
+		}
+		for peer, mbps := range req.Peers {
+			if mbps <= 0 {
+				continue
+			}
+			if m.peerMbps == nil {
+				m.peerMbps = make(map[string]float64)
+			}
+			old := m.peerMbps[peer]
+			m.peerMbps[peer] = smoothRate(old, mbps)
+			ref := m.peerPlacedMbps[peer]
+			if ref <= 0 {
+				ref = old
+			}
+			if ref <= 0 || absFrac(m.peerMbps[peer], ref) > c.cfg.BandwidthDriftFrac {
+				kick = true
+				if c.cfg.Logf != nil {
+					c.cfg.Logf("cluster: link %s→%s now %.1f Mb/s (placed at %.1f), re-placing", id, peer, m.peerMbps[peer], ref)
 				}
 			}
 		}
@@ -606,4 +765,19 @@ func absFrac(a, b float64) float64 {
 		d = -d
 	}
 	return d / b
+}
+
+// bwSmoothing is the weight one fresh probe carries in the smoothed
+// link rate. 0.1 keeps a steady 5× probe jitter (loopback links
+// routinely measure anywhere from 2 to 11 Gb/s beat to beat) inside
+// the default 20% drift gate, while a sustained order-of-magnitude
+// shift still crosses it within a few beats.
+const bwSmoothing = 0.1
+
+// smoothRate folds a fresh probe into the smoothed link rate.
+func smoothRate(old, sample float64) float64 {
+	if old <= 0 {
+		return sample
+	}
+	return old + bwSmoothing*(sample-old)
 }

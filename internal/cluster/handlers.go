@@ -113,6 +113,9 @@ type clusterTaskStatus struct {
 	Node         string  `json:"node,omitempty"`
 	Path         string  `json:"path,omitempty"`
 	DNN          string  `json:"dnn,omitempty"`
+	// Hops is the serving pipeline length: 1 for a whole-path placement,
+	// >1 when the task runs as a split path across nodes.
+	Hops int `json:"hops,omitempty"`
 }
 
 func (c *Coordinator) handleListTasks(w http.ResponseWriter, r *http.Request) {
@@ -127,6 +130,7 @@ func (c *Coordinator) handleListTasks(w http.ResponseWriter, r *http.Request) {
 			st.Node = e.NodeID
 			st.Path = e.Path
 			st.DNN = e.DNN
+			st.Hops = e.Hops
 		}
 		out = append(out, st)
 	}
@@ -273,7 +277,10 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, serve.CodeUnknownTask, "node %q not registered", id)
 		return
 	}
-	w.WriteHeader(http.StatusNoContent)
+	// The response hands back the peer address book so the member's agent
+	// can round-robin inter-node bandwidth probes (the measurements come
+	// back in later heartbeats' Peers field).
+	writeJSON(w, http.StatusOK, HeartbeatResponse{Peers: c.peerAddrs(id)})
 }
 
 func (c *Coordinator) handleNodeLeave(w http.ResponseWriter, r *http.Request) {
@@ -350,6 +357,7 @@ func (c *Coordinator) handleHealth(w http.ResponseWriter, r *http.Request) {
 			"nodes":              sum.nodes,
 			"weighted_admission": sum.weighted,
 			"unplaced":           len(sum.unplaced),
+			"splits":             len(sum.splits),
 			"age_seconds":        now.Sub(sum.at).Seconds(),
 		},
 		"uptime_seconds": now.Sub(c.start).Seconds(),
@@ -381,10 +389,18 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		m     *memberState
 		beat  float64
 		state serve.HealthState
+		peers map[string]float64
 	}
 	rows := make([]nodeRow, 0, nNodes)
 	for id, m := range c.members {
-		rows = append(rows, nodeRow{id: id, m: m, beat: now.Sub(m.lastBeat).Seconds(), state: m.state})
+		row := nodeRow{id: id, m: m, beat: now.Sub(m.lastBeat).Seconds(), state: m.state}
+		if len(m.peerMbps) > 0 {
+			row.peers = make(map[string]float64, len(m.peerMbps))
+			for peer, mbps := range m.peerMbps {
+				row.peers[peer] = mbps
+			}
+		}
+		rows = append(rows, row)
 	}
 	c.mu.Unlock()
 	sort.Slice(rows, func(i, j int) bool { return rows[i].id < rows[j].id })
@@ -403,6 +419,14 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "offloadnn_cluster_placement_age_seconds %g\n", now.Sub(sum.at).Seconds())
 	family("offloadnn_cluster_weighted_admission", "gauge", "Cluster-wide admitted weighted priority Σ z·p.")
 	fmt.Fprintf(w, "offloadnn_cluster_weighted_admission %g\n", sum.weighted)
+	family("offloadnn_split_paths", "gauge", "Tasks served as pipelined split paths under the current placement.")
+	fmt.Fprintf(w, "offloadnn_split_paths %d\n", len(sum.splits))
+	if len(sum.splits) > 0 {
+		family("offloadnn_split_hops", "gauge", "Pipeline length of each split-path task.")
+		for i := range sum.splits {
+			fmt.Fprintf(w, "offloadnn_split_hops{task=%q} %d\n", sum.splits[i].TaskID, len(sum.splits[i].Segments))
+		}
+	}
 
 	family("offloadnn_node_up", "gauge", "Member liveness: 1 when the node is neither stale nor failed.")
 	for _, row := range rows {
@@ -423,6 +447,17 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	family("offloadnn_node_bandwidth_mbps", "gauge", "Measured coordinator-node link rate; 0 when unmeasured.")
 	for _, row := range rows {
 		fmt.Fprintf(w, "offloadnn_node_bandwidth_mbps{node=%q} %g\n", row.id, row.m.node.BandwidthMbps)
+	}
+	family("offloadnn_link_mbps", "gauge", "Measured inter-node link rate from heartbeat-reported peer probes.")
+	for _, row := range rows {
+		peers := make([]string, 0, len(row.peers))
+		for peer := range row.peers {
+			peers = append(peers, peer)
+		}
+		sort.Strings(peers)
+		for _, peer := range peers {
+			fmt.Fprintf(w, "offloadnn_link_mbps{from=%q,to=%q} %g\n", row.id, peer, row.peers[peer])
+		}
 	}
 	family("offloadnn_node_epoch", "counter", "Member's active deployment epoch as of its last contact.")
 	for _, row := range rows {

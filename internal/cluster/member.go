@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 
@@ -19,13 +20,20 @@ import (
 // endpoints: the full standalone API stays served (a member is a normal
 // edgeserve daemon), plus
 //
-//	PUT /v1/cluster/plan   install the coordinator's task subset
-//	GET /v1/cluster/info   node identity, budgets and epoch state
+//	PUT /v1/cluster/plan      install the coordinator's task subset
+//	GET /v1/cluster/info      node identity, budgets and epoch state
+//	POST /v1/cluster/bwprobe  sink for peers' inter-node bandwidth probes
 func MemberHandler(srv *serve.Server) http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/", srv)
 	mux.HandleFunc("PUT /v1/cluster/plan", func(w http.ResponseWriter, r *http.Request) {
 		handlePlanPush(srv, w, r)
+	})
+	mux.HandleFunc("POST /v1/cluster/bwprobe", func(w http.ResponseWriter, r *http.Request) {
+		// Peer agents time a payload transfer against this sink to
+		// measure the node→node link the split placement prices.
+		io.Copy(io.Discard, r.Body)
+		w.WriteHeader(http.StatusOK)
 	})
 	mux.HandleFunc("GET /v1/cluster/info", func(w http.ResponseWriter, r *http.Request) {
 		h := srv.Health()
@@ -75,6 +83,29 @@ func handlePlanPush(srv *serve.Server, w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, serve.CodeInvalidRequest, "%v", err)
 		return
 	}
+	specs := make([]serve.SegmentSpec, 0, len(push.Segments))
+	for _, ws := range push.Segments {
+		specs = append(specs, serve.SegmentSpec{
+			Task:     ws.Task,
+			Path:     ws.Path,
+			DNN:      ws.DNN,
+			Blocks:   ws.Blocks,
+			From:     ws.From,
+			To:       ws.To,
+			Rate:     ws.Rate,
+			BudgetMS: ws.BudgetMS,
+			Hop:      ws.Hop,
+			Hops:     ws.Hops,
+			Next:     ws.Next,
+			NextNode: ws.NextNode,
+		})
+	}
+	segChanged, err := srv.ReplaceSegments(specs)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, serve.CodeInvalidRequest, "%v", err)
+		return
+	}
+	changed = changed || segChanged
 	var epoch uint64
 	if ep := srv.Current(); ep != nil {
 		epoch = ep.N
@@ -118,6 +149,15 @@ type Agent struct {
 	srv    *serve.Server
 	client *http.Client
 	mbps   float64
+
+	// Peer state for the inter-node bandwidth matrix: the coordinator's
+	// heartbeat response carries the live peer address book, the agent
+	// round-robins one probe per beat over it, and the next heartbeat
+	// reports every measured node→peer rate.
+	mu       sync.Mutex
+	peerBook map[string]string  // peer node ID → base URL
+	peerMbps map[string]float64 // peer node ID → measured Mb/s
+	probeSeq int
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -237,14 +277,23 @@ func (a *Agent) register() error {
 }
 
 // beat posts one heartbeat; a 404 means the coordinator no longer knows
-// the node (restart or eviction) and triggers re-registration.
+// the node (restart or eviction) and triggers re-registration. A 200
+// carries the coordinator's peer address book, which the agent probes
+// one peer per beat over to fill the inter-node bandwidth matrix.
 func (a *Agent) beat() error {
+	a.mu.Lock()
+	peers := make(map[string]float64, len(a.peerMbps))
+	for id, mbps := range a.peerMbps {
+		peers[id] = mbps
+	}
+	a.mu.Unlock()
 	h := a.srv.Health()
 	body, err := json.Marshal(HeartbeatRequest{
 		State:         h.State.String(),
 		Epoch:         h.Epoch,
 		Tasks:         a.srv.Registry().Len(),
 		BandwidthMbps: a.mbps,
+		Peers:         peers,
 	})
 	if err != nil {
 		return err
@@ -261,7 +310,18 @@ func (a *Agent) beat() error {
 	}
 	defer resp.Body.Close()
 	switch resp.StatusCode {
+	case http.StatusOK:
+		var hb HeartbeatResponse
+		if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&hb); err == nil {
+			a.mu.Lock()
+			a.peerBook = hb.Peers
+			a.mu.Unlock()
+		}
+		a.probeNextPeer()
+		return nil
 	case http.StatusNoContent:
+		// Older coordinators (and the fault-injected heartbeat-drop path)
+		// answer an empty 204; the beat still counts.
 		return nil
 	case http.StatusNotFound:
 		if a.cfg.Logf != nil {
@@ -272,6 +332,54 @@ func (a *Agent) beat() error {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		return fmt.Errorf("coordinator answered %d: %s", resp.StatusCode, msg)
 	}
+}
+
+// probeNextPeer round-robins one inter-node bandwidth probe over the
+// current peer address book, streaming ProbeBytes to the peer's probe
+// sink and timing the transfer.
+func (a *Agent) probeNextPeer() {
+	a.mu.Lock()
+	if len(a.peerBook) == 0 {
+		a.mu.Unlock()
+		return
+	}
+	ids := make([]string, 0, len(a.peerBook))
+	for id := range a.peerBook {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	id := ids[a.probeSeq%len(ids)]
+	addr := a.peerBook[id]
+	a.probeSeq++
+	a.mu.Unlock()
+
+	payload := make([]byte, a.cfg.ProbeBytes)
+	start := time.Now()
+	req, err := http.NewRequestWithContext(a.ctx, http.MethodPost, addr+"/v1/cluster/bwprobe", bytes.NewReader(payload))
+	if err != nil {
+		return
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := a.client.Do(req)
+	if err != nil {
+		if a.cfg.Logf != nil {
+			a.cfg.Logf("cluster: agent %s: peer probe %s: %v", a.cfg.NodeID, id, err)
+		}
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	elapsed := time.Since(start).Seconds()
+	if resp.StatusCode != http.StatusOK || elapsed <= 0 {
+		return
+	}
+	mbps := float64(a.cfg.ProbeBytes) * 8 / elapsed / 1e6
+	a.mu.Lock()
+	if a.peerMbps == nil {
+		a.peerMbps = make(map[string]float64)
+	}
+	a.peerMbps[id] = mbps
+	a.mu.Unlock()
 }
 
 // probeBandwidth measures the node↔coordinator link by streaming

@@ -38,8 +38,12 @@ type Placement struct {
 	Plans []NodePlan
 	// Route maps each admitted task to the ID of the node serving it.
 	Route map[string]string
-	// Unplaced lists tasks no node admits (sorted).
+	// Unplaced lists tasks no node admits (sorted) — whole or split.
 	Unplaced []string
+	// Splits lists the pipelined multi-node plans the split-placement
+	// pass found for tasks whole-path placement spilled (splitplace.go);
+	// their tasks appear in Route keyed to the head node.
+	Splits []SplitPath
 	// WeightedAdmission is Σ over nodes of Σ z·p — the cluster-wide
 	// counterpart of the single-server Breakdown.WeightedAdmission.
 	WeightedAdmission float64
@@ -104,6 +108,10 @@ type PlaceConfig struct {
 	// approximate admission solve. 0 applies DefaultPlaceApproxAfter;
 	// negative pins the exact bin-pack at every scale.
 	ApproxAfter int
+	// Split, when non-nil, enables the cross-node split-placement pass:
+	// tasks whole-path placement leaves unplaced are offered pipelined
+	// multi-node plans (splitplace.go).
+	Split *SplitConfig
 }
 
 // Place assigns every task to at most one node: greedy bin-pack by
@@ -137,10 +145,14 @@ func PlaceWith(ctx context.Context, tasks []core.Task, blocks map[string]core.Bl
 	if after == 0 {
 		after = DefaultPlaceApproxAfter
 	}
+	var p *Placement
 	if after > 0 && len(tasks) >= after && len(nodes) > 0 {
-		return placeApprox(ctx, tasks, blocks, nodes, cfg.Alpha)
+		p = placeApprox(ctx, tasks, blocks, nodes, cfg.Alpha)
+	} else {
+		p = placeExact(ctx, tasks, blocks, nodes, cfg.Alpha)
 	}
-	return placeExact(ctx, tasks, blocks, nodes, cfg.Alpha)
+	splitPlace(p, tasks, blocks, cfg.Split)
+	return p
 }
 
 // placeExact is the exact greedy bin-pack over per-node incremental

@@ -23,7 +23,10 @@ func singleSolve(t *testing.T, in *core.Instance) *core.Solution {
 func clusterNodes(res []core.Resources) []Node {
 	nodes := make([]Node, len(res))
 	for i, r := range res {
-		nodes[i] = Node{ID: string(rune('a' + i)), Res: r}
+		// FloorMbps -1: these tests compare cluster placement against the
+		// standalone solver, which models no coordinator→node link at all,
+		// so the unmeasured-link floor must not charge the budget here.
+		nodes[i] = Node{ID: string(rune('a' + i)), Res: r, FloorMbps: -1}
 	}
 	return nodes
 }
@@ -37,7 +40,7 @@ func TestPlaceOneNodeMatchesSingleServer(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := singleSolve(t, in)
-	p := Place(context.Background(), in.Tasks, in.Blocks, []Node{{ID: "solo", Res: in.Res}}, in.Alpha)
+	p := Place(context.Background(), in.Tasks, in.Blocks, []Node{{ID: "solo", Res: in.Res, FloorMbps: -1}}, in.Alpha)
 	if len(p.Errors) != 0 {
 		t.Fatalf("placement errors: %v", p.Errors)
 	}
@@ -169,7 +172,8 @@ func TestPlaceBandwidthShrinksLatencyBudget(t *testing.T) {
 	}
 }
 
-// TestAdjustTask pins the bandwidth model arithmetic.
+// TestAdjustTask pins the bandwidth model arithmetic, including the
+// unmeasured-link floor.
 func TestAdjustTask(t *testing.T) {
 	task := core.Task{ID: "t", MaxLatency: 200 * time.Millisecond, InputBits: 1e6}
 	n := Node{BandwidthMbps: 10} // 1e6 bits / 10 Mb/s = 100 ms
@@ -183,7 +187,51 @@ func TestAdjustTask(t *testing.T) {
 	if _, ok := (Node{BandwidthMbps: 4}).AdjustTask(task); ok {
 		t.Error("250ms forward delay must exhaust a 200ms budget")
 	}
-	if adj, _ := (Node{}).AdjustTask(task); adj.MaxLatency != task.MaxLatency {
-		t.Error("unmeasured link must not charge the budget")
+	// An unmeasured link is priced at the conservative DefaultFloorMbps
+	// (1 Mb/s): a 1 Mb frame costs the whole 200 ms budget and more.
+	if _, ok := (Node{}).AdjustTask(task); ok {
+		t.Error("unmeasured link must be priced at the floor, exhausting a 200ms budget")
+	}
+	if adj, ok := (Node{}).AdjustTask(core.Task{ID: "t", MaxLatency: 1200 * time.Millisecond, InputBits: 1e6}); !ok || adj.MaxLatency != 200*time.Millisecond {
+		t.Errorf("floor-priced link: adjusted latency %v (ok=%v), want 200ms", adj.MaxLatency, ok)
+	}
+	// A negative floor opts the node out of floor pricing entirely.
+	if adj, ok := (Node{FloorMbps: -1}).AdjustTask(task); !ok || adj.MaxLatency != task.MaxLatency {
+		t.Errorf("floor opt-out must not charge the budget, got %v (ok=%v)", adj.MaxLatency, ok)
+	}
+	// A custom floor replaces the default.
+	if adj, ok := (Node{FloorMbps: 10}).AdjustTask(task); !ok || adj.MaxLatency != 100*time.Millisecond {
+		t.Errorf("custom 10 Mb/s floor: adjusted latency %v (ok=%v), want 100ms", adj.MaxLatency, ok)
+	}
+}
+
+// TestBandwidthFloor pins LinkMbps and the pairwise TransferDelay.
+func TestBandwidthFloor(t *testing.T) {
+	if got := (Node{}).LinkMbps(); got != DefaultFloorMbps {
+		t.Errorf("unmeasured link rate %v, want default floor %v", got, DefaultFloorMbps)
+	}
+	if got := (Node{BandwidthMbps: 25}).LinkMbps(); got != 25 {
+		t.Errorf("measured link rate %v, want 25", got)
+	}
+	if got := (Node{FloorMbps: 4}).LinkMbps(); got != 4 {
+		t.Errorf("configured floor rate %v, want 4", got)
+	}
+	if got := (Node{FloorMbps: -1}).LinkMbps(); got != 0 {
+		t.Errorf("opted-out link rate %v, want 0 (free)", got)
+	}
+	// Pairwise transfer is priced at the slower of the two links.
+	a := Node{BandwidthMbps: 10}
+	b := Node{BandwidthMbps: 2}
+	if got := TransferDelay(a, b, 1e6); got != 500*time.Millisecond {
+		t.Errorf("transfer over 10/2 Mb/s pair took %v, want 500ms", got)
+	}
+	if got := TransferDelay(a, Node{FloorMbps: -1}, 1e6); got != 0 {
+		t.Errorf("transfer to an opted-out node took %v, want 0", got)
+	}
+	if got := (Node{}).ForwardDelay(1e6); got != time.Second {
+		t.Errorf("floor-priced forward of 1 Mb took %v, want 1s", got)
+	}
+	if got := (Node{}).ForwardDelay(0); got != 0 {
+		t.Errorf("zero-bit forward took %v, want 0", got)
 	}
 }

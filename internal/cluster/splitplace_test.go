@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"offloadnn/internal/core"
+	"offloadnn/internal/radio"
+)
+
+// splitScenario is the acceptance shape: one task whose only
+// accuracy-satisfying path needs 1.2 GB of blocks — more memory than any
+// single test node has, but within reach of two nodes together.
+func splitScenario() ([]core.Task, map[string]core.BlockSpec) {
+	ids := []string{"split/stage1", "split/stage2", "split/stage3", "split/stage4"}
+	blocks := make(map[string]core.BlockSpec, len(ids))
+	for _, id := range ids {
+		blocks[id] = core.BlockSpec{ID: id, ComputeSeconds: 1e-4, MemoryGB: 0.3, TrainSeconds: 1}
+	}
+	task := core.Task{
+		ID:          "big",
+		Priority:    1,
+		Rate:        2,
+		MinAccuracy: 0.9,
+		MaxLatency:  500 * time.Millisecond,
+		InputBits:   350e3,
+		SNRdB:       20,
+		Paths: []core.PathSpec{{
+			ID: "split/full", DNN: "split", Blocks: ids, Accuracy: 0.95,
+		}},
+	}
+	return []core.Task{task}, blocks
+}
+
+// splitNode is a member with 0.7 GB of memory: any two path stages fit,
+// three don't.
+func splitNode(id string) Node {
+	return Node{ID: id, Addr: "http://" + id, BandwidthMbps: 100, Res: core.Resources{
+		RBs:                50,
+		ComputeSeconds:     2.5,
+		MemoryGB:           0.7,
+		TrainBudgetSeconds: 1000,
+		Capacity:           radio.PaperRate(),
+	}}
+}
+
+// TestSplitPlaceSingleNodeInfeasible: with one node the path cannot be
+// admitted whole and there is no peer to split onto.
+func TestSplitPlaceSingleNodeInfeasible(t *testing.T) {
+	tasks, blocks := splitScenario()
+	p := PlaceWith(context.Background(), tasks, blocks, []Node{splitNode("a")}, PlaceConfig{Alpha: 0.5, Split: &SplitConfig{}})
+	if len(p.Splits) != 0 {
+		t.Fatalf("single node produced a split plan: %+v", p.Splits)
+	}
+	if len(p.Unplaced) != 1 || p.Unplaced[0] != "big" {
+		t.Fatalf("unplaced %v, want [big]", p.Unplaced)
+	}
+	if _, ok := p.Route["big"]; ok {
+		t.Fatal("infeasible task was routed")
+	}
+}
+
+// TestSplitPlaceTwoNodes: the same task splits across two nodes at the
+// only memory-feasible cut (2|2 stages) and is routed to the head.
+func TestSplitPlaceTwoNodes(t *testing.T) {
+	tasks, blocks := splitScenario()
+	nodes := []Node{splitNode("a"), splitNode("b")}
+	p := PlaceWith(context.Background(), tasks, blocks, nodes, PlaceConfig{Alpha: 0.5, Split: &SplitConfig{}})
+	if len(p.Unplaced) != 0 {
+		t.Fatalf("unplaced %v, want none", p.Unplaced)
+	}
+	if len(p.Splits) != 1 {
+		t.Fatalf("splits %d, want 1", len(p.Splits))
+	}
+	sp := p.Splits[0]
+	if sp.TaskID != "big" || sp.Path.ID != "split/full" {
+		t.Fatalf("split plan for %s/%s, want big/split/full", sp.TaskID, sp.Path.ID)
+	}
+	if len(sp.Segments) != 2 {
+		t.Fatalf("segments %d, want 2", len(sp.Segments))
+	}
+	// 0.3 GB/stage against 0.7 GB nodes: cut after 1 or 3 leaves a 0.9 GB
+	// segment, so only the 2|2 cut is feasible.
+	if sp.Segments[0].From != 0 || sp.Segments[0].To != 2 || sp.Segments[1].From != 2 || sp.Segments[1].To != 4 {
+		t.Fatalf("cut [%d,%d)|[%d,%d), want [0,2)|[2,4)",
+			sp.Segments[0].From, sp.Segments[0].To, sp.Segments[1].From, sp.Segments[1].To)
+	}
+	if sp.Segments[0].NodeID == sp.Segments[1].NodeID {
+		t.Fatalf("both segments on %s", sp.Segments[0].NodeID)
+	}
+	if sp.Z != 1 {
+		t.Errorf("admitted fraction %v, want 1 (nothing else competes)", sp.Z)
+	}
+	if sp.RBs <= 0 {
+		t.Errorf("head slice %d RBs, want positive", sp.RBs)
+	}
+	if sp.Segments[0].TransferBits <= 0 {
+		t.Error("head segment ships no boundary activation")
+	}
+	if sp.Segments[1].TransferBits != 0 {
+		t.Error("tail segment has a transfer")
+	}
+	if sp.LatencyMS <= 0 || sp.LatencyMS > 500 {
+		t.Errorf("predicted latency %.1fms outside (0, 500]", sp.LatencyMS)
+	}
+	if sp.BudgetMS <= 0 || sp.BudgetMS > 500 {
+		t.Errorf("pipeline budget %.1fms outside (0, 500]", sp.BudgetMS)
+	}
+	head := sp.Segments[0]
+	if got, ok := p.Route["big"]; !ok || got != head.NodeID {
+		t.Fatalf("routed to %q, want head %q", got, head.NodeID)
+	}
+	// Each node's plan must carry the block specs its segment deploys, so
+	// the member-side catalog can price them.
+	for _, seg := range sp.Segments {
+		for pi := range p.Plans {
+			if p.Plans[pi].Node.ID != seg.NodeID {
+				continue
+			}
+			for _, id := range sp.Path.Blocks[seg.From:seg.To] {
+				if _, ok := p.Plans[pi].Blocks[id]; !ok {
+					t.Errorf("node %s plan missing segment block %s", seg.NodeID, id)
+				}
+			}
+		}
+	}
+}
+
+// TestSplitPlaceRespectsLatency: a deadline tighter than the radio
+// transmission floor leaves the task unplaced rather than admitting an
+// unmeetable pipeline.
+func TestSplitPlaceRespectsLatency(t *testing.T) {
+	tasks, blocks := splitScenario()
+	tasks[0].MaxLatency = 5 * time.Millisecond // one 350 Kb frame needs ≥ 20ms at 50 RBs
+	p := PlaceWith(context.Background(), tasks, blocks, []Node{splitNode("a"), splitNode("b")},
+		PlaceConfig{Alpha: 0.5, Split: &SplitConfig{}})
+	if len(p.Splits) != 0 {
+		t.Fatalf("unmeetable deadline still split: %+v", p.Splits)
+	}
+	if len(p.Unplaced) != 1 {
+		t.Fatalf("unplaced %v, want the task back", p.Unplaced)
+	}
+}

@@ -82,6 +82,46 @@ type HeartbeatRequest struct {
 	Epoch         uint64  `json:"epoch"`
 	Tasks         int     `json:"tasks"`
 	BandwidthMbps float64 `json:"bandwidth_mbps,omitempty"`
+	// Peers carries the member's measured node→peer link rates in Mbps
+	// (peer node ID → rate), filling the coordinator's inter-node
+	// bandwidth matrix one probe at a time.
+	Peers map[string]float64 `json:"peers,omitempty"`
+}
+
+// HeartbeatResponse is the coordinator's answer to a heartbeat: the
+// current peer address book, which the member's agent round-robins its
+// inter-node bandwidth probes over.
+type HeartbeatResponse struct {
+	// Peers maps every other live node's ID to its base URL.
+	Peers map[string]string `json:"peers,omitempty"`
+}
+
+// WireSegment is one node's slice of a split path on the wire: the full
+// path block list with this node's [From, To) range, plus the relay
+// coordinates — where the boundary activation goes next and what deadline
+// budget the pipeline starts with. Pushed inside PlanPush alongside the
+// whole-path task subset.
+type WireSegment struct {
+	Task   string   `json:"task"`
+	Path   string   `json:"path"`
+	DNN    string   `json:"dnn"`
+	Blocks []string `json:"blocks"`
+	From   int      `json:"from"`
+	To     int      `json:"to"`
+	// Rate is the admitted request rate z·λ the head gates intake at.
+	Rate float64 `json:"rate"`
+	// BudgetMS is the end-to-end deadline budget the head opens the
+	// pipeline with (the task's L_τ minus the coordinator→head forward
+	// delay); zero on non-head segments, which trust the envelope's
+	// remaining budget instead.
+	BudgetMS float64 `json:"budget_ms,omitempty"`
+	// Hop and Hops are this segment's position and the pipeline length.
+	Hop  int `json:"hop"`
+	Hops int `json:"hops"`
+	// Next and NextNode are the next hop's base URL and node ID; empty
+	// on the tail.
+	Next     string `json:"next,omitempty"`
+	NextNode string `json:"next_node,omitempty"`
 }
 
 // PlanPush is the body of PUT /v1/cluster/plan: one node's slice of a
@@ -95,6 +135,9 @@ type PlanPush struct {
 	Res       WireResources       `json:"res"`
 	Tasks     []WireTask          `json:"tasks"`
 	Blocks    map[string]WireBlock `json:"blocks,omitempty"`
+	// Segments are the split-path stage ranges this node serves in
+	// addition to its whole-path task subset.
+	Segments []WireSegment `json:"segments,omitempty"`
 }
 
 // PlanAck is the member's response to a plan push.

@@ -63,6 +63,33 @@ var ErrLate = errors.New("exec: request past deadline, shed")
 // rather than growing an unbounded backlog.
 var ErrQueueFull = errors.New("exec: batching queue full, shed")
 
+// Segment is one stage-range of a split path assigned to this node: a
+// cluster placement may pipeline a path across nodes, and each node
+// installs only its contiguous slice. Blocks is always the FULL path's
+// block-ID list — the range indexes into it, and keeping the whole list
+// lets a quantized segment rebuild the complete path locally for
+// calibration, so every node derives identical activation scales.
+type Segment struct {
+	// TaskID is the task the split plan serves.
+	TaskID string
+	// PathID and DNN identify the catalog path being split.
+	PathID string
+	DNN    string
+	// Blocks is the full path's ordered block-ID list.
+	Blocks []string
+	// From and To bound this node's stage range [From, To) into Blocks.
+	// From == 0 makes this the head segment (it includes the stem and
+	// consumes raw frames); To == len(Blocks) makes it the tail (it
+	// includes the classifier and emits logits).
+	From, To int
+}
+
+// Head reports whether the segment consumes raw frames.
+func (s Segment) Head() bool { return s.From == 0 }
+
+// Tail reports whether the segment emits logits.
+func (s Segment) Tail() bool { return s.To == len(s.Blocks) }
+
 // Plan is one epoch's deployment handed to the backend: the task
 // snapshot the assignments are parallel to, the block catalog, the
 // resource pool and the controller's deployment. A nil Deployment (empty
@@ -82,6 +109,10 @@ type Plan struct {
 	Res core.Resources
 	// Deployment is the admission outcome; nil for an empty registry.
 	Deployment *edge.Deployment
+	// Segments lists the stage-range slices of split paths this node
+	// serves in addition to (and independent of) the whole-path
+	// assignments in Deployment.
+	Segments []Segment
 }
 
 // Request is one admitted offload handed to the backend: the task whose
@@ -91,9 +122,15 @@ type Request struct {
 	// TaskID selects the deployed model (via the installed plan's
 	// task → path routing).
 	TaskID string
-	// Input is the flattened input tensor in the backend's InputShape
-	// order.
+	// Input is the flattened input tensor: a raw frame in the backend's
+	// InputShape order when FromStage is 0, otherwise the boundary
+	// activation entering stage index FromStage of the task's split
+	// path.
 	Input []float64
+	// FromStage selects which installed range serves the request: 0 (a
+	// raw frame, the head or a whole path) or the From of an installed
+	// mid-path segment.
+	FromStage int
 	// Deadline is the wall-clock instant after which the result is
 	// worthless — the serving layer derives it from the task's plan-time
 	// latency bound L_τ (optionally overridden per request). The zero
@@ -105,11 +142,18 @@ type Request struct {
 // Output is the result of one executed offload.
 type Output struct {
 	// Logits is the model output row for the request's input; nil when
-	// the backend does not run a real model (Simulated).
+	// the backend does not run a real model (Simulated) or when the
+	// serving range is a non-tail segment (see Activation).
 	Logits []float64
 	// Argmax is the index of the largest logit (class prediction);
 	// -1 when Logits is nil.
 	Argmax int
+	// Activation is the boundary activation a non-tail segment emits
+	// instead of logits, flattened in ActShape order; the serving layer
+	// forwards it to the next hop.
+	Activation []float64
+	// ActShape is Activation's (C, H, W).
+	ActShape [3]int
 	// BatchSize is the size of the batch the request was served in.
 	BatchSize int
 	// Latency is the measured (Real) or modeled (Simulated) end-to-end

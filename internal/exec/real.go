@@ -173,6 +173,16 @@ type modelEntry struct {
 	refs  int              // tasks routed to the entry by the installed plan
 	done  chan struct{}    // closed when the entry is released
 
+	// Segment geometry: whole paths are the degenerate segment [0, n).
+	// inShape is the per-request input (a frame for from==0, a boundary
+	// activation otherwise); outShape is the boundary activation a
+	// non-tail segment emits; emitsLogits marks entries that end in the
+	// classifier.
+	from        int
+	inShape     [3]int
+	outShape    [3]int
+	emitsLogits bool
+
 	// qmu guards the intake heap; avail carries a capacity-1 wakeup
 	// token — every push signals it (non-blocking), and the executor
 	// re-polls the heap after every wake, so no enqueue is ever missed.
@@ -273,6 +283,28 @@ func NewReal(cfg RealConfig) (*Real, error) {
 // pathSignature keys a model entry: two assignments with the same block
 // sequence share one model (and one batch queue).
 func pathSignature(blocks []string) string { return strings.Join(blocks, "|") }
+
+// segmentSignature keys a segment entry. The range is part of the key —
+// the same block slice at a different path offset occupies different
+// stages — but a full-range segment collapses onto the whole-path
+// signature, so a split plan and a whole-path assignment of the same
+// path share one entry.
+func segmentSignature(blocks []string, from, to int) string {
+	if from == 0 && to == len(blocks) {
+		return pathSignature(blocks)
+	}
+	return pathSignature(blocks[from:to]) + "#" + strconv.Itoa(from) + "-" + strconv.Itoa(to)
+}
+
+// routeKey addresses an installed range in the routing table: plain
+// task ID for raw-frame intake (whole paths and head segments),
+// suffixed with the resume stage for mid-path segments.
+func routeKey(taskID string, from int) string {
+	if from == 0 {
+		return taskID
+	}
+	return taskID + "#" + strconv.Itoa(from)
+}
 
 // pruneRatioOf parses the structured-pruning convention of catalog block
 // IDs: a "/pNN" suffix means NN% of internal channels removed.
@@ -429,13 +461,160 @@ func (r *Real) buildEntry(sig string, blockIDs []string) (*modelEntry, error) {
 		return nil, err
 	}
 	e := &modelEntry{
-		sig:   sig,
-		model: model,
-		keys:  keys,
-		prec:  pathPrec,
-		queue: reqQueue{edf: r.cfg.Sched == SchedEDF},
-		avail: make(chan struct{}, 1),
-		done:  make(chan struct{}),
+		sig:         sig,
+		model:       model,
+		keys:        keys,
+		prec:        pathPrec,
+		inShape:     r.cfg.Input,
+		emitsLogits: true,
+		queue:       reqQueue{edf: r.cfg.Sched == SchedEDF},
+		avail:       make(chan struct{}, 1),
+		done:        make(chan struct{}),
+	}
+	return e, nil
+}
+
+// buildSegmentEntry assembles the model for one stage range of a split
+// path. The stem joins only the head segment and the classifier only
+// the tail; mid-path segments consume and emit boundary activations
+// whose shapes follow analytically from the template geometry. A
+// reduced-precision segment is gated against the FULL path: the
+// remaining stages are instantiated as ordinary (initially unreferenced)
+// library blocks, the complete model is calibrated and accuracy-checked
+// exactly as a whole-path install would, and pruneUnreferenced drops the
+// temporaries afterward — so every node of a split quantized path
+// derives bit-identical activation scales and demotion verdicts from the
+// same deterministic calibration batch. mu held.
+func (r *Real) buildSegmentEntry(seg Segment) (*modelEntry, error) {
+	n := len(seg.Blocks)
+	if seg.From < 0 || seg.To > n || seg.From >= seg.To {
+		return nil, fmt.Errorf("exec: segment %s range [%d,%d) outside path of %d blocks",
+			seg.TaskID, seg.From, seg.To, n)
+	}
+	sig := segmentSignature(seg.Blocks, seg.From, seg.To)
+	if seg.From == 0 && seg.To == n {
+		e, err := r.buildEntry(sig, seg.Blocks)
+		if err != nil {
+			return nil, err
+		}
+		if err := r.gateEntry(e); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	pathPrec := pathPrecisionOf(seg.Blocks)
+	suffix := ""
+	if pathPrec != tensor.F64 {
+		suffix = "@" + pathPrec.String()
+	}
+	narrow := func(b *dnn.Block) (*dnn.Block, int64, error) {
+		if pathPrec != tensor.F64 {
+			if err := b.SetPrecision(pathPrec); err != nil {
+				return nil, 0, err
+			}
+		}
+		return b, 0, nil
+	}
+	// Resolve every block of the path; only [From, To) joins the segment
+	// model (and its key list), but the full set lets the gate calibrate
+	// the complete path below.
+	var keys []string
+	var stem *dnn.Block
+	if seg.From == 0 {
+		stemKey := "stem" + suffix
+		inst, err := r.instantiate(stemKey, 0, func() (*dnn.Block, int64, error) {
+			return narrow(dnn.BuildStemBlock(r.cfg.Model))
+		})
+		if err != nil {
+			return nil, err
+		}
+		keys = append(keys, stemKey)
+		stem = inst.block
+	}
+	allStages := make([]*dnn.Block, 0, n)
+	for i, id := range seg.Blocks {
+		stage := min(i+1, 4)
+		inst, err := r.instantiate(id, stage, func() (*dnn.Block, int64, error) {
+			return r.stageBlock(id, stage)
+		})
+		if err != nil {
+			return nil, err
+		}
+		if i >= seg.From && i < seg.To {
+			keys = append(keys, id)
+		}
+		allStages = append(allStages, inst.block)
+	}
+	var cls *dnn.Block
+	featureDim := dnn.StageWidth(r.cfg.Model, n)
+	clsKey := "classifier/" + strconv.Itoa(featureDim) + suffix
+	if seg.To == n {
+		inst, err := r.instantiate(clsKey, 5, func() (*dnn.Block, int64, error) {
+			return narrow(dnn.BuildClassifierBlock(r.cfg.Model, featureDim))
+		})
+		if err != nil {
+			return nil, err
+		}
+		keys = append(keys, clsKey)
+		cls = inst.block
+	}
+	if pathPrec != tensor.F64 && r.cfg.QuantGate >= 0 {
+		// Gate the full path, not the slice: calibration scales are
+		// per-block state, and deriving them from the whole path on every
+		// node is what keeps a split quantized path bit-identical to the
+		// unsplit one. The temporary full-path entry reuses gateEntry's
+		// twin-compare/demote loop; its precision outcome carries over.
+		fullStem := stem
+		if fullStem == nil {
+			inst, err := r.instantiate("stem"+suffix, 0, func() (*dnn.Block, int64, error) {
+				return narrow(dnn.BuildStemBlock(r.cfg.Model))
+			})
+			if err != nil {
+				return nil, err
+			}
+			fullStem = inst.block
+		}
+		fullCls := cls
+		if fullCls == nil {
+			inst, err := r.instantiate(clsKey, 5, func() (*dnn.Block, int64, error) {
+				return narrow(dnn.BuildClassifierBlock(r.cfg.Model, featureDim))
+			})
+			if err != nil {
+				return nil, err
+			}
+			fullCls = inst.block
+		}
+		fullModel, err := dnn.AssemblePathModel("gate/"+sig, fullStem, allStages, fullCls)
+		if err != nil {
+			return nil, err
+		}
+		tmp := &modelEntry{sig: pathSignature(seg.Blocks), model: fullModel, prec: pathPrec}
+		if err := r.gateEntry(tmp); err != nil {
+			return nil, err
+		}
+		pathPrec = tmp.prec
+	}
+	model, err := dnn.AssembleSegmentModel("exec/"+sig, stem, allStages[seg.From:seg.To], cls)
+	if err != nil {
+		return nil, err
+	}
+	e := &modelEntry{
+		sig:         sig,
+		model:       model,
+		keys:        keys,
+		prec:        pathPrec,
+		from:        seg.From,
+		inShape:     dnn.SegmentBoundaryShape(r.cfg.Model, r.cfg.Input, seg.From),
+		emitsLogits: seg.To == n,
+		queue:       reqQueue{edf: r.cfg.Sched == SchedEDF},
+		avail:       make(chan struct{}, 1),
+		done:        make(chan struct{}),
+	}
+	if seg.From == 0 {
+		e.inShape = r.cfg.Input
+	}
+	if !e.emitsLogits {
+		e.outShape = dnn.SegmentBoundaryShape(r.cfg.Model, r.cfg.Input, seg.To)
 	}
 	return e, nil
 }
@@ -586,6 +765,28 @@ func (r *Real) Install(plan *Plan) error {
 			routes[a.TaskID] = e
 		}
 	}
+	for _, seg := range plan.Segments {
+		if n := len(seg.Blocks); seg.From < 0 || seg.To > n || seg.From >= seg.To {
+			return fail(fmt.Errorf("exec: install epoch %d: segment %s range [%d,%d) outside path of %d blocks",
+				plan.Epoch, seg.TaskID, seg.From, seg.To, n))
+		}
+		sig := segmentSignature(seg.Blocks, seg.From, seg.To)
+		e, ok := desired[sig]
+		if !ok {
+			if e, ok = r.models[sig]; !ok {
+				var err error
+				e, err = r.buildSegmentEntry(seg)
+				if err != nil {
+					return fail(fmt.Errorf("exec: install epoch %d: %w", plan.Epoch, err))
+				}
+				created = append(created, e)
+			}
+			e.refs = 0
+			desired[sig] = e
+		}
+		e.refs++
+		routes[routeKey(seg.TaskID, seg.From)] = e
+	}
 
 	// Commit: retire entries absent from the desired set, start the
 	// executors of the created ones, swap the routing table.
@@ -638,14 +839,14 @@ func (r *Real) pruneUnreferenced(map[string]*modelEntry) {
 // waiter (ErrQueueFull). The measured latency spans enqueue to result —
 // queueing, batching wait and the forward pass.
 func (r *Real) Infer(ctx context.Context, req Request) (Output, error) {
-	e := (*r.routes.Load())[req.TaskID]
+	e := (*r.routes.Load())[routeKey(req.TaskID, req.FromStage)]
 	if e == nil {
-		return Output{}, fmt.Errorf("%w: %q", ErrNoModel, req.TaskID)
+		return Output{}, fmt.Errorf("%w: %q (stage %d)", ErrNoModel, req.TaskID, req.FromStage)
 	}
-	want := r.cfg.Input[0] * r.cfg.Input[1] * r.cfg.Input[2]
+	want := e.inShape[0] * e.inShape[1] * e.inShape[2]
 	if len(req.Input) != want {
 		return Output{}, fmt.Errorf("%w: got %d values, model wants %d (%dx%dx%d)",
-			ErrBadInput, len(req.Input), want, r.cfg.Input[0], r.cfg.Input[1], r.cfg.Input[2])
+			ErrBadInput, len(req.Input), want, e.inShape[0], e.inShape[1], e.inShape[2])
 	}
 	var dl int64
 	if !req.Deadline.IsZero() {
@@ -665,6 +866,15 @@ func (r *Real) Infer(ctx context.Context, req Request) (Output, error) {
 	case resp := <-q.resp:
 		if resp.err != nil {
 			return Output{}, resp.err
+		}
+		if !e.emitsLogits {
+			return Output{
+				Activation: resp.logits,
+				ActShape:   e.outShape,
+				Argmax:     -1,
+				BatchSize:  resp.batch,
+				Latency:    time.Since(start),
+			}, nil
 		}
 		argmax := 0
 		for i, v := range resp.logits {
@@ -881,7 +1091,7 @@ func (r *Real) runBatch(e *modelEntry, batch []*inferReq) {
 	if r.batchHook != nil {
 		r.batchHook(n)
 	}
-	c, h, w := r.cfg.Input[0], r.cfg.Input[1], r.cfg.Input[2]
+	c, h, w := e.inShape[0], e.inShape[1], e.inShape[2]
 	per := c * h * w
 	x := tensor.Rent(n, c, h, w)
 	for i, q := range batch {

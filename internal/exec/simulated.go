@@ -64,6 +64,26 @@ func (s *Simulated) Install(plan *Plan) error {
 	}
 	s.costs = edge.PlanCosts(plan.Tasks, plan.Blocks, plan.Res, plan.Deployment,
 		s.cfg.LinkRateFactor, s.cfg.ComputeScale)
+	// Segment ranges answer with their slice's modeled compute; the
+	// transfer legs live in the serving layer, which never forwards a
+	// simulated activation (there is none).
+	scale := s.cfg.ComputeScale
+	if scale <= 0 {
+		scale = 1
+	}
+	for _, seg := range plan.Segments {
+		if seg.From < 0 || seg.To > len(seg.Blocks) || seg.From >= seg.To {
+			return fmt.Errorf("exec: segment %s range [%d,%d) outside path of %d blocks",
+				seg.TaskID, seg.From, seg.To, len(seg.Blocks))
+		}
+		var proc float64
+		for _, id := range seg.Blocks[seg.From:seg.To] {
+			proc += plan.Blocks[id].ComputeSeconds
+		}
+		s.costs[routeKey(seg.TaskID, seg.From)] = edge.TaskCost{
+			Proc: time.Duration(proc * scale * float64(time.Second)),
+		}
+	}
 	return nil
 }
 
@@ -79,9 +99,9 @@ func (s *Simulated) Infer(_ context.Context, req Request) (Output, error) {
 	if s.closed {
 		return Output{}, ErrClosed
 	}
-	cost, ok := s.costs[req.TaskID]
+	cost, ok := s.costs[routeKey(req.TaskID, req.FromStage)]
 	if !ok {
-		return Output{}, fmt.Errorf("%w: %q", ErrNoModel, req.TaskID)
+		return Output{}, fmt.Errorf("%w: %q (stage %d)", ErrNoModel, req.TaskID, req.FromStage)
 	}
 	lat := cost.Total()
 	if s.cfg.Jitter > 0 {

@@ -1,7 +1,6 @@
 package serve
 
 import (
-	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -12,6 +11,7 @@ import (
 	"time"
 
 	"offloadnn/internal/core"
+	"offloadnn/internal/dnn"
 	"offloadnn/internal/exec"
 )
 
@@ -79,6 +79,9 @@ type OffloadResponse struct {
 	// request carried no deadline. Clients compare it against
 	// MeasuredLatencyMS for client-side hit-rate accounting.
 	DeadlineMS float64 `json:"deadline_ms,omitempty"`
+	// Hops is the per-hop breakdown of a split-path request (one entry
+	// per pipeline segment, head first); absent for whole-path serving.
+	Hops []dnn.ActivationHop `json:"hops,omitempty"`
 }
 
 // TaskStatus is one entry of GET /v1/tasks.
@@ -99,6 +102,7 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /v1/tasks", s.handleListTasks)
 	mux.HandleFunc("DELETE /v1/tasks/{id}", s.handleDeregister)
 	mux.HandleFunc("POST /v1/offload", s.handleOffload)
+	mux.HandleFunc("POST /v1/stage", s.handleStage)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -240,6 +244,12 @@ func (s *Server) handleOffload(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "invalid offload request: %v", err)
 		return
 	}
+	if sp, gate, ok := s.segTable().head(req.Task); ok {
+		// This node heads a split pipeline for the task: gate here, run
+		// the head segment, relay the activation to the next hop.
+		s.handleSplitOffload(w, r, req, sp, gate)
+		return
+	}
 	if !s.reg.Has(req.Task) {
 		writeError(w, http.StatusNotFound, CodeUnknownTask, "task %q not registered", req.Task)
 		return
@@ -313,25 +323,7 @@ func (s *Server) handleOffload(w http.ResponseWriter, r *http.Request) {
 		}
 		out, err := s.backend.Infer(r.Context(), exec.Request{TaskID: req.Task, Input: req.Input, Deadline: deadline})
 		if err != nil {
-			switch {
-			case errors.Is(err, exec.ErrBadInput):
-				writeError(w, http.StatusBadRequest, CodeInvalidRequest, "%v", err)
-			case errors.Is(err, exec.ErrLate):
-				s.stats.noteShed(s.cfg.Now())
-				writeError(w, http.StatusGatewayTimeout, CodeDeadline, "%v", err)
-			case errors.Is(err, exec.ErrQueueFull):
-				s.stats.noteShed(s.cfg.Now())
-				w.Header().Set("Retry-After", retryAfter(s.cfg.Debounce))
-				writeError(w, http.StatusServiceUnavailable, CodeOverload, "%v", err)
-			case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-				s.stats.aborted.Add(1)
-				w.WriteHeader(499)
-			default:
-				// ErrNoModel/ErrReleased mean the request raced an epoch
-				// swap between the gate and the backend; the client
-				// retries against the new epoch like any backend failure.
-				writeError(w, http.StatusInternalServerError, CodeBackend, "%v", err)
-			}
+			s.writeInferError(w, err, CodeDeadline)
 			return
 		}
 		s.stats.recordInfer(req.Task, out.Latency.Seconds())
@@ -446,6 +438,29 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			id := ep.Tasks[i].ID
 			if rate := ep.AdmittedRate(id); rate > 0 {
 				fmt.Fprintf(w, "offloadnn_admitted_rate{task=%q} %g\n", id, rate)
+			}
+		}
+	}
+	// Split-pipeline families: segment routing plus per-hop accounting.
+	if segs := s.Segments(); len(segs) > 0 {
+		splitTasks := make(map[string]bool)
+		for _, sp := range segs {
+			splitTasks[sp.Task] = true
+		}
+		family("offloadnn_split_paths", "gauge", "Split-path pipelines this node serves a segment of.")
+		fmt.Fprintf(w, "offloadnn_split_paths %d\n", len(splitTasks))
+		family("offloadnn_split_segments", "gauge", "Installed stage-range segments, one series per route.")
+		for _, sp := range segs {
+			fmt.Fprintf(w, "offloadnn_split_segments{task=%q,from=\"%d\",to=\"%d\",hop=\"%d\"} 1\n", sp.Task, sp.From, sp.To, sp.Hop)
+		}
+	}
+	family("offloadnn_activation_bytes", "counter", "Boundary-activation envelope bytes forwarded to next hops.")
+	fmt.Fprintf(w, "offloadnn_activation_bytes %d\n", s.stats.ActivationBytes())
+	if s.stats.HopLatency().Len() > 0 {
+		if qs, err := s.stats.HopLatency().Quantiles(50, 95, 99); err == nil {
+			family("offloadnn_hop_latency_seconds", "summary", "Split-segment execution latency quantiles on this node.")
+			for i, q := range []string{"0.5", "0.95", "0.99"} {
+				fmt.Fprintf(w, "offloadnn_hop_latency_seconds{quantile=%q} %g\n", q, qs[i])
 			}
 		}
 	}

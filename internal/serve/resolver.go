@@ -130,6 +130,9 @@ type Resolver struct {
 	stats    *Stats
 	faults   *faultinject.Injector
 	node     string
+	// segments supplies the split-path segment set attached to every
+	// installed plan; nil for standalone daemons (see resolverParams).
+	segments func() []exec.Segment
 
 	solveTimeout time.Duration
 	backoffBase  time.Duration
@@ -203,6 +206,10 @@ type resolverParams struct {
 	faults       *faultinject.Injector
 	backend      exec.Backend
 	node         string
+	// segments supplies the node's current split-path segment set; every
+	// installed plan carries it so segment models swap atomically with
+	// the epoch. Nil for standalone daemons.
+	segments func() []exec.Segment
 }
 
 func newResolver(reg *Registry, ctrl *edge.Controller, res core.Resources, alpha float64,
@@ -221,6 +228,7 @@ func newResolver(reg *Registry, ctrl *edge.Controller, res core.Resources, alpha
 		stats:        stats,
 		faults:       p.faults,
 		node:         p.node,
+		segments:     p.segments,
 		solveTimeout: p.solveTimeout,
 		backoffBase:  p.backoffBase,
 		backoffMax:   p.backoffMax,
@@ -425,6 +433,10 @@ func (r *Resolver) resolve(force bool) error {
 	// model template cannot realize) keeps the previous epoch — and the
 	// previous backend plan — serving.
 	if r.backend != nil {
+		var segs []exec.Segment
+		if r.segments != nil {
+			segs = r.segments()
+		}
 		if err := r.backend.Install(&exec.Plan{
 			Epoch:      r.epochN + 1,
 			Node:       r.node,
@@ -432,6 +444,7 @@ func (r *Resolver) resolve(force bool) error {
 			Blocks:     blocks,
 			Res:        r.res,
 			Deployment: ep.Deployment,
+			Segments:   segs,
 		}); err != nil {
 			err = fmt.Errorf("serve: backend install: %w", err)
 			r.recordFailure(err)

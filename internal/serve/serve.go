@@ -160,6 +160,13 @@ type Server struct {
 	stats    *Stats
 	mux      *http.ServeMux
 	draining atomic.Bool
+	// segments is the node's installed split-path segment table (see
+	// segments.go), swapped atomically on cluster plan pushes; nil until
+	// the first ReplaceSegments.
+	segments atomic.Pointer[segmentTable]
+	// stageClient posts boundary activations to the next hop of a split
+	// path; overridable in tests.
+	stageClient *http.Client
 }
 
 // New validates the configuration and starts the epoch re-solver.
@@ -233,10 +240,11 @@ func New(cfg Config) (*Server, error) {
 	}
 	ctrl.Faults = cfg.Faults
 	s := &Server{
-		cfg:     cfg,
-		reg:     NewRegistry(cfg.Catalog, cfg.Blocks),
-		backend: cfg.Backend,
-		stats:   newStats(cfg.Window, cfg.Now()),
+		cfg:         cfg,
+		reg:         NewRegistry(cfg.Catalog, cfg.Blocks),
+		backend:     cfg.Backend,
+		stats:       newStats(cfg.Window, cfg.Now()),
+		stageClient: &http.Client{Timeout: 30 * time.Second},
 	}
 	s.resolver = newResolver(s.reg, ctrl, cfg.Res, cfg.Alpha, cfg.Debounce, cfg.Now, cfg.Logf, s.stats,
 		cfg.Solve == nil, resolverParams{
@@ -249,6 +257,7 @@ func New(cfg Config) (*Server, error) {
 			faults:       cfg.Faults,
 			backend:      cfg.Backend,
 			node:         cfg.Node,
+			segments:     s.execSegments,
 		})
 	s.mux = s.routes()
 	return s, nil

@@ -1,0 +1,313 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"time"
+
+	"offloadnn/internal/dnn"
+	"offloadnn/internal/exec"
+)
+
+// CodeDeadlineHop is the 504 code for a split-path request whose
+// deadline budget ran out mid-pipeline: the frame was admitted and at
+// least the head segment ran, but a later hop (transfer included) left
+// no budget, so the relay shed it instead of finishing work the client
+// will never accept. Distinct from CodeDeadline so clients can tell a
+// single-node miss from a multi-hop one.
+const CodeDeadlineHop = "deadline_exceeded@hop"
+
+// maxStageBody bounds a relayed activation envelope: manifest plus a
+// ~1M-element float64 activation, far beyond any boundary this model
+// family produces.
+const maxStageBody = 8 << 20
+
+// writeInferError maps an execution-backend error onto the unified
+// error envelope. deadlineCode is the 504 code lateness maps to —
+// CodeDeadline on a whole path, CodeDeadlineHop inside a split
+// pipeline.
+func (s *Server) writeInferError(w http.ResponseWriter, err error, deadlineCode string) {
+	switch {
+	case errors.Is(err, exec.ErrBadInput):
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "%v", err)
+	case errors.Is(err, exec.ErrLate):
+		s.stats.noteShed(s.cfg.Now())
+		writeError(w, http.StatusGatewayTimeout, deadlineCode, "%v", err)
+	case errors.Is(err, exec.ErrQueueFull):
+		s.stats.noteShed(s.cfg.Now())
+		w.Header().Set("Retry-After", retryAfter(s.cfg.Debounce))
+		writeError(w, http.StatusServiceUnavailable, CodeOverload, "%v", err)
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		s.stats.aborted.Add(1)
+		w.WriteHeader(499)
+	default:
+		// ErrNoModel/ErrReleased mean the request raced an epoch swap;
+		// the client retries against the new epoch like any backend
+		// failure.
+		writeError(w, http.StatusInternalServerError, CodeBackend, "%v", err)
+	}
+}
+
+// handleSplitOffload serves POST /v1/offload for a task this node heads
+// a split pipeline for: gate at the admitted rate, run the head
+// segment, then forward the boundary activation to the next hop with
+// the remaining deadline budget and relay the tail's verdict back.
+func (s *Server) handleSplitOffload(w http.ResponseWriter, r *http.Request, req OffloadRequest, sp SegmentSpec, gate *Gate) {
+	if r.Context().Err() != nil {
+		s.stats.aborted.Add(1)
+		w.WriteHeader(499)
+		return
+	}
+	if gate == nil {
+		s.stats.recordReject(req.Task)
+		w.Header().Set("Retry-After", retryAfter(s.cfg.Debounce))
+		writeError(w, http.StatusTooManyRequests, CodeNotAdmitted, "task %q split head has no gate yet", req.Task)
+		return
+	}
+	ok, wait := gate.Allow()
+	if !ok {
+		s.stats.recordReject(req.Task)
+		w.Header().Set("Retry-After", retryAfter(wait))
+		writeError(w, http.StatusTooManyRequests, CodeOverRate,
+			"task %q over its admitted rate %.3g req/s", req.Task, gate.Rate())
+		return
+	}
+	s.stats.recordSplitAdmit(req.Task)
+	var epoch uint64
+	if ep := s.resolver.Current(); ep != nil {
+		epoch = ep.N
+	}
+	resp := OffloadResponse{
+		Task:         req.Task,
+		Epoch:        epoch,
+		AdmittedRate: sp.Rate,
+		Path:         sp.Path,
+		DNN:          sp.DNN,
+	}
+	if len(req.Input) == 0 {
+		// Admission probe: the token is spent, report the planned split
+		// serving parameters.
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	// Deadline budget: the split plan's end-to-end budget by default, a
+	// positive DeadlineMS overrides it, a negative one opts out.
+	var budget time.Duration
+	switch {
+	case req.DeadlineMS > 0:
+		budget = time.Duration(req.DeadlineMS * float64(time.Millisecond))
+	case req.DeadlineMS < 0:
+		budget = 0
+	default:
+		budget = time.Duration(sp.BudgetMS * float64(time.Millisecond))
+	}
+	start := s.cfg.Now()
+	var deadline time.Time
+	if budget > 0 {
+		deadline = start.Add(budget)
+		resp.DeadlineMS = float64(budget) / float64(time.Millisecond)
+	}
+	out, err := s.backend.Infer(r.Context(), exec.Request{TaskID: req.Task, Input: req.Input, FromStage: 0, Deadline: deadline})
+	if err != nil {
+		s.writeInferError(w, err, CodeDeadline)
+		return
+	}
+	s.stats.recordInfer(req.Task, out.Latency.Seconds())
+	s.stats.recordHop(out.Latency.Seconds())
+	hopLat := float64(out.Latency) / float64(time.Millisecond)
+	resp.BatchSize = out.BatchSize
+	resp.Simulated = out.Simulated
+	if out.Logits != nil || out.Simulated {
+		// A cost-model backend produces no activation to forward, and a
+		// single-segment pipeline's head is its tail: answer directly.
+		resp.MeasuredLatencyMS = hopLat
+		if out.Logits != nil {
+			resp.Logits = out.Logits
+			am := out.Argmax
+			resp.Argmax = &am
+		}
+		resp.Hops = []dnn.ActivationHop{{Node: s.cfg.Node, LatencyMS: hopLat}}
+		s.stats.latency.Add(out.Latency.Seconds())
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	man := dnn.ActivationManifest{
+		Task:     req.Task,
+		Path:     sp.Path,
+		From:     sp.To,
+		Shape:    out.ActShape,
+		BudgetMS: resp.DeadlineMS,
+		Hops: []dnn.ActivationHop{{
+			Node:            s.cfg.Node,
+			LatencyMS:       hopLat,
+			ActivationBytes: len(out.Activation) * 8,
+		}},
+	}
+	if budget > 0 {
+		man.RemainingMS = float64(deadline.Sub(s.cfg.Now())) / float64(time.Millisecond)
+		if man.RemainingMS <= 0 {
+			s.stats.noteShed(s.cfg.Now())
+			writeError(w, http.StatusGatewayTimeout, CodeDeadlineHop,
+				"task %q: deadline budget exhausted after head segment", req.Task)
+			return
+		}
+	}
+	status, body, err := s.forwardActivation(r.Context(), sp, man, out.Activation)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, CodeBackend, "task %q: relay to %s: %v", req.Task, sp.NextNode, err)
+		return
+	}
+	if status != http.StatusOK {
+		// Relay the downstream verdict (a hop-deadline 504, a shed 503)
+		// unchanged; the codes are already from this API's vocabulary.
+		relayBody(w, status, body)
+		return
+	}
+	var tail OffloadResponse
+	if err := json.Unmarshal(body, &tail); err != nil {
+		writeError(w, http.StatusBadGateway, CodeBackend, "task %q: malformed tail response: %v", req.Task, err)
+		return
+	}
+	resp.MeasuredLatencyMS = float64(s.cfg.Now().Sub(start)) / float64(time.Millisecond)
+	resp.BatchSize = tail.BatchSize
+	resp.Simulated = tail.Simulated
+	resp.Logits = tail.Logits
+	resp.Argmax = tail.Argmax
+	resp.Hops = tail.Hops
+	s.stats.latency.Add(resp.MeasuredLatencyMS / 1e3)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleStage serves POST /v1/stage: one boundary-activation handoff
+// inside a split pipeline. The body is an activation envelope
+// (dnn.EncodeActivation); the response is either the tail's
+// OffloadResponse (JSON) or a relayed error envelope. Stage traffic is
+// not gated — the head already spent the pipeline's rate token.
+func (s *Server) handleStage(w http.ResponseWriter, r *http.Request) {
+	man, act, err := dnn.DecodeActivation(http.MaxBytesReader(w, r.Body, maxStageBody))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "%v", err)
+		return
+	}
+	sp, ok := s.segTable().at(man.Task, man.From)
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeUnknownTask,
+			"no segment installed for task %q entering stage %d", man.Task, man.From)
+		return
+	}
+	if man.Path != sp.Path {
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest,
+			"activation is for path %q, segment installed for %q", man.Path, sp.Path)
+		return
+	}
+	if man.RemainingMS < 0 {
+		s.stats.noteShed(s.cfg.Now())
+		writeError(w, http.StatusGatewayTimeout, CodeDeadlineHop,
+			"task %q: deadline budget exhausted entering hop %d", man.Task, sp.Hop)
+		return
+	}
+	start := s.cfg.Now()
+	var deadline time.Time
+	if man.RemainingMS > 0 {
+		// The sender's snapshot is trusted as-is: transfer time between
+		// the snapshot and this arrival is absorbed by the next
+		// remaining-budget computation, not double-counted here.
+		deadline = start.Add(time.Duration(man.RemainingMS * float64(time.Millisecond)))
+	}
+	out, err := s.backend.Infer(r.Context(), exec.Request{TaskID: man.Task, Input: act, FromStage: man.From, Deadline: deadline})
+	if err != nil {
+		s.writeInferError(w, err, CodeDeadlineHop)
+		return
+	}
+	s.stats.recordHop(out.Latency.Seconds())
+	hopLat := float64(out.Latency) / float64(time.Millisecond)
+	if out.Logits != nil || out.Simulated || sp.TailSeg() {
+		var epoch uint64
+		if ep := s.resolver.Current(); ep != nil {
+			epoch = ep.N
+		}
+		resp := OffloadResponse{
+			Task:              man.Task,
+			Epoch:             epoch,
+			AdmittedRate:      sp.Rate,
+			Path:              sp.Path,
+			DNN:               sp.DNN,
+			MeasuredLatencyMS: hopLat,
+			BatchSize:         out.BatchSize,
+			Simulated:         out.Simulated,
+			DeadlineMS:        man.BudgetMS,
+			Hops:              append(man.Hops, dnn.ActivationHop{Node: s.cfg.Node, LatencyMS: hopLat}),
+		}
+		if out.Logits != nil {
+			resp.Logits = out.Logits
+			am := out.Argmax
+			resp.Argmax = &am
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	// Middle hop: account this segment and forward the next boundary.
+	next := dnn.ActivationManifest{
+		Task:     man.Task,
+		Path:     sp.Path,
+		From:     sp.To,
+		Shape:    out.ActShape,
+		BudgetMS: man.BudgetMS,
+		Hops: append(man.Hops, dnn.ActivationHop{
+			Node:            s.cfg.Node,
+			LatencyMS:       hopLat,
+			ActivationBytes: len(out.Activation) * 8,
+		}),
+	}
+	if man.RemainingMS > 0 {
+		next.RemainingMS = float64(deadline.Sub(s.cfg.Now())) / float64(time.Millisecond)
+		if next.RemainingMS <= 0 {
+			s.stats.noteShed(s.cfg.Now())
+			writeError(w, http.StatusGatewayTimeout, CodeDeadlineHop,
+				"task %q: deadline budget exhausted after hop %d", man.Task, sp.Hop)
+			return
+		}
+	}
+	status, body, err := s.forwardActivation(r.Context(), sp, next, out.Activation)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, CodeBackend, "task %q: relay to %s: %v", man.Task, sp.NextNode, err)
+		return
+	}
+	relayBody(w, status, body)
+}
+
+// forwardActivation encodes the envelope and posts it to the segment's
+// next hop, returning the downstream status and body.
+func (s *Server) forwardActivation(ctx context.Context, sp SegmentSpec, man dnn.ActivationManifest, act []float64) (int, []byte, error) {
+	var buf bytes.Buffer
+	if err := dnn.EncodeActivation(&buf, man, act); err != nil {
+		return 0, nil, err
+	}
+	s.stats.activationBytes.Add(uint64(buf.Len()))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, sp.Next+"/v1/stage", bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	res, err := s.stageClient.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer res.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(res.Body, maxStageBody))
+	if err != nil {
+		return 0, nil, err
+	}
+	return res.StatusCode, body, nil
+}
+
+// relayBody writes a downstream hop's response through unchanged.
+func relayBody(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+}

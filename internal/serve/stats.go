@@ -45,6 +45,13 @@ type Stats struct {
 	// the backend queue (overload fast path: predicted latency exceeds
 	// the deadline budget while the runtime is under deadline pressure).
 	earlySheds atomic.Uint64
+	// hopLatency windows the per-hop execution latencies of split-path
+	// segments this node ran (head or relay), backing
+	// offloadnn_hop_latency_seconds.
+	hopLatency *metrics.Window
+	// activationBytes totals the boundary-activation envelope bytes this
+	// node forwarded to next hops.
+	activationBytes atomic.Uint64
 
 	mu           sync.Mutex
 	perTask      map[string]*taskCounters
@@ -92,10 +99,11 @@ func (s *Stats) EarlySheds() uint64 { return s.earlySheds.Load() }
 
 func newStats(window int, start time.Time) *Stats {
 	return &Stats{
-		start:   start,
-		latency: metrics.NewWindow(window),
-		window:  window,
-		perTask: make(map[string]*taskCounters),
+		start:      start,
+		latency:    metrics.NewWindow(window),
+		hopLatency: metrics.NewWindow(window),
+		window:     window,
+		perTask:    make(map[string]*taskCounters),
 	}
 }
 
@@ -144,6 +152,27 @@ func (s *Stats) InferWindow(id string) *metrics.Window {
 	}
 	return c.infer.Load()
 }
+
+// recordSplitAdmit counts an offload admitted by a split-pipeline head
+// gate. Unlike recordAdmit there is no plan-time latency to fold into
+// the end-to-end window here — the measured pipeline latency is added
+// when the tail's verdict comes back.
+func (s *Stats) recordSplitAdmit(id string) {
+	s.task(id).admitted.Add(1)
+}
+
+// recordHop folds one split-segment execution latency (seconds) into
+// the hop-latency window.
+func (s *Stats) recordHop(latencySeconds float64) {
+	s.hopLatency.Add(latencySeconds)
+}
+
+// HopLatency exposes the split-segment hop latency window (seconds).
+func (s *Stats) HopLatency() *metrics.Window { return s.hopLatency }
+
+// ActivationBytes returns the total boundary-activation bytes this node
+// forwarded to next hops.
+func (s *Stats) ActivationBytes() uint64 { return s.activationBytes.Load() }
 
 // recordReject counts a rate-rejected offload.
 func (s *Stats) recordReject(id string) {
